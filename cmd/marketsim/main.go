@@ -1,0 +1,74 @@
+// Command marketsim runs the Mechanical-Turk-style marketplace simulator:
+// five fixed bundle-size trials followed by the MDP-planned dynamic trial,
+// printing hourly completion curves, costs, accuracy, and retention.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+
+	"crowdpricing/internal/market"
+	"crowdpricing/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("marketsim: ")
+	seed := flag.Int64("seed", 1, "random seed")
+	tasks := flag.Int("tasks", 5000, "total unit tasks")
+	horizon := flag.Float64("hours", 14, "experiment horizon in hours")
+	flag.Parse()
+
+	cfg := market.PaperLiveConfig(market.PaperArrival())
+	cfg.TotalTasks = *tasks
+	cfg.Horizon = *horizon
+
+	fixed := map[int]*market.Result{}
+	fmt.Println("fixed bundle-size trials:")
+	fmt.Println("bundle  HITs  tasks  cost(c)  done(h)  HITs/worker  accuracy")
+	for i, g := range market.PaperGroupSizes {
+		res, err := market.RunFixed(cfg, g, *seed+int64(i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fixed[g] = res
+		done := "unfinished"
+		if !math.IsInf(res.CompletionTime, 1) {
+			done = fmt.Sprintf("%.1f", res.CompletionTime)
+		}
+		fmt.Printf("%-7d %-5d %-6d %-8d %-8s %-12.2f %.3f\n",
+			g, len(res.HITs), res.TasksCompleted, res.CostCents, done,
+			res.HITsPerWorker(), stats.Mean(res.Accuracies()))
+	}
+
+	rates, err := market.EstimateGroupRates(cfg, fixed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	choose, err := market.PlanGroupSizes(cfg, rates, 10, 500)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ndynamic trial (hourly bundle choices):")
+	logged := func(remaining, hour int) int {
+		g := choose(remaining, hour)
+		fmt.Printf("  hour %2d: %5d tasks left -> bundle %d\n", hour, remaining, g)
+		return g
+	}
+	dyn, err := market.RunDynamic(cfg, logged, *seed+100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	done := "unfinished"
+	if !math.IsInf(dyn.CompletionTime, 1) {
+		done = fmt.Sprintf("%.1fh", dyn.CompletionTime)
+	}
+	fmt.Printf("dynamic: %d tasks, cost %dc, done %s, accuracy %.3f\n",
+		dyn.TasksCompleted, dyn.CostCents, done, stats.Mean(dyn.Accuracies()))
+	if f20 := fixed[20]; f20 != nil && f20.CostCents > 0 {
+		fmt.Printf("saving vs fixed bundle-20: %.0f%%\n",
+			(1-float64(dyn.CostCents)/float64(f20.CostCents))*100)
+	}
+}

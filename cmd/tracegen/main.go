@@ -1,0 +1,70 @@
+// Command tracegen generates the synthetic mturk-tracker arrival trace and
+// writes it as CSV (default) or JSON, for plotting or for feeding other
+// tools. The same generator backs every experiment in this repository.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"crowdpricing/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracegen: ")
+	format := flag.String("format", "csv", "csv or json")
+	out := flag.String("o", "", "output path (default stdout)")
+	seed := flag.Int64("seed", trace.DefaultConfig().Seed, "random seed")
+	base := flag.Float64("base", trace.DefaultConfig().BaseRate, "base arrival rate per hour")
+	holiday := flag.Float64("holiday", trace.DefaultConfig().HolidayDip, "fractional rate drop on day 1")
+	summary := flag.Bool("summary", false, "print per-day totals instead of the raw trace")
+	flag.Parse()
+
+	cfg := trace.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.BaseRate = *base
+	cfg.HolidayDip = *holiday
+	tr := trace.Generate(cfg)
+
+	if *summary {
+		for d := 0; d < trace.Days; d++ {
+			total := 0
+			for _, c := range tr.Day(d) {
+				total += c
+			}
+			fmt.Printf("day %2d: %8d arrivals\n", d+1, total)
+		}
+		return
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+		w = f
+	}
+	switch *format {
+	case "csv":
+		if err := tr.WriteCSV(w); err != nil {
+			log.Fatal(err)
+		}
+	case "json":
+		enc := json.NewEncoder(w)
+		if err := enc.Encode(tr); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		log.Fatalf("unknown format %q", *format)
+	}
+}

@@ -1,0 +1,63 @@
+// Package crowdpricing prices batches of human computation tasks on a
+// crowdsourcing marketplace, reproducing "Finish Them!: Pricing Algorithms
+// for Human Computation" (Gao & Parameswaran, VLDB 2014).
+//
+// Two optimization problems are solved:
+//
+//   - Fixed deadline (Section 3 of the paper): given N tasks and a deadline,
+//     dynamically vary the per-task reward over discretized time intervals to
+//     minimize the expected total payment while finishing on time — a
+//     finite-horizon Markov Decision Process solved by backward induction
+//     with Poisson truncation and monotone price search.
+//   - Fixed budget (Section 4): given N tasks and a budget, choose the
+//     up-front static prices minimizing the expected completion time — at
+//     most two prices, found on the lower convex hull of (c, 1/p(c)).
+//
+// This root package re-exports the library's primary types so applications
+// outside the repository see one import path; the implementation lives in
+// the internal packages (core, choice, rate, nhpp, market, …), and the
+// examples/ directory shows complete workflows.
+package crowdpricing
+
+import (
+	"crowdpricing/internal/choice"
+	"crowdpricing/internal/core"
+	"crowdpricing/internal/rate"
+)
+
+// DeadlineProblem is a fixed-deadline pricing instance (Section 3).
+type DeadlineProblem = core.DeadlineProblem
+
+// DeadlinePolicy is a solved dynamic price schedule.
+type DeadlinePolicy = core.DeadlinePolicy
+
+// BudgetProblem is a fixed-budget pricing instance (Section 4).
+type BudgetProblem = core.BudgetProblem
+
+// StaticStrategy is an up-front price allocation (at most two prices).
+type StaticStrategy = core.StaticStrategy
+
+// TradeoffProblem optimizes a weighted cost/latency objective (Section 6).
+type TradeoffProblem = core.TradeoffProblem
+
+// AcceptanceFn maps a reward in cents to a task acceptance probability.
+type AcceptanceFn = choice.AcceptanceFn
+
+// Logistic is the parametric acceptance curve of Equation (3).
+type Logistic = choice.Logistic
+
+// RateFn is a worker arrival-rate function λ(t) with exact integration.
+type RateFn = rate.Fn
+
+// Paper13 is the acceptance curve calibrated in Section 5.1.2 of the paper
+// (Equation 13): a Data Collection task with a 2-minute completion time.
+var Paper13 = choice.Paper13
+
+// ConstantRate returns the homogeneous arrival rate λ(t) = perHour.
+func ConstantRate(perHour float64) RateFn { return rate.Constant(perHour) }
+
+// IntervalMeans splits [0, horizon] hours into n intervals and returns the
+// expected worker arrivals per interval, the λ_t inputs of DeadlineProblem.
+func IntervalMeans(fn RateFn, horizon float64, n int) []float64 {
+	return rate.IntervalMeans(fn, horizon, n)
+}

@@ -1,0 +1,70 @@
+// Quickstart: price a batch of 200 tasks against a 24-hour deadline.
+//
+// This is the minimal end-to-end flow: describe the marketplace (arrival
+// rate + acceptance curve), solve the deadline MDP, calibrate it to a 99.9%
+// completion guarantee, and read off the price schedule.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"crowdpricing/internal/choice"
+	"crowdpricing/internal/core"
+	"crowdpricing/internal/rate"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. The marketplace: ~5200 workers arrive per hour, and a worker takes
+	//    a task priced at c cents with probability p(c) following the
+	//    paper's calibrated Equation 13.
+	arrival := rate.Constant(5200)
+	accept := choice.Paper13
+
+	// 2. The job: 200 tasks, 24 hours, repricing every 20 minutes.
+	problem := &core.DeadlineProblem{
+		N:         200,
+		Horizon:   24,
+		Intervals: 72,
+		Lambdas:   rate.IntervalMeans(arrival, 24, 72),
+		Accept:    accept,
+		MinPrice:  0,
+		MaxPrice:  50,
+		TruncEps:  1e-9,
+	}
+
+	// 3. Calibrate the terminal penalty so every task finishes with 99.9%
+	//    probability, then inspect the plan.
+	cal, err := problem.CalibratePenaltyForConfidence(0.999, 1e6, 18)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out := cal.Outcome
+	fmt.Printf("expected total cost:    %.1f cents (%.2f cents/task)\n", out.ExpectedCost, out.AvgReward)
+	fmt.Printf("completion probability: %.4f\n", out.CompletionProb)
+
+	// 4. Compare with the best fixed price for the same guarantee.
+	fixed, err := problem.FixedPriceForConfidence(0.999)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fixed-price baseline:   %d cents/task (%.0f%% more expensive)\n",
+		fixed.Price, (fixed.ExpectedCost-out.ExpectedCost)/out.ExpectedCost*100)
+
+	// 5. The policy is a price table: ask it what to post right now.
+	fmt.Println("\nif the batch is on track:")
+	for _, t := range []int{0, 24, 48, 71} {
+		expectedLeft := 200 - 200*t/72 // rough on-track backlog
+		fmt.Printf("  interval %2d (%2dh in), %3d tasks left -> post %d cents\n",
+			t, t/3, expectedLeft, cal.Policy.PriceAt(expectedLeft, t))
+	}
+	fmt.Println("if the batch is badly behind:")
+	for _, t := range []int{48, 60, 71} {
+		fmt.Printf("  interval %2d (%2dh in), 150 tasks left -> post %d cents\n",
+			t, t/3, cal.Policy.PriceAt(150, t))
+	}
+}

@@ -1,0 +1,130 @@
+package crowdpricing
+
+// End-to-end tests over the public facade: everything a downstream user
+// would touch, wired the way the README shows.
+
+import (
+	"math"
+	"testing"
+
+	"crowdpricing/internal/dist"
+	"crowdpricing/internal/sim"
+)
+
+func TestFacadeDeadlineFlow(t *testing.T) {
+	arrival := ConstantRate(5200)
+	problem := &DeadlineProblem{
+		N:         200,
+		Horizon:   24,
+		Intervals: 72,
+		Lambdas:   IntervalMeans(arrival, 24, 72),
+		Accept:    Paper13,
+		MaxPrice:  50,
+		TruncEps:  1e-9,
+	}
+	cal, err := problem.CalibratePenaltyForConfidence(0.999, 1e6, 18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := cal.Outcome
+	if out.CompletionProb < 0.999 {
+		t.Errorf("completion probability %v below guarantee", out.CompletionProb)
+	}
+	// The paper's headline band: avg reward near c0=12 for this workload.
+	if out.AvgReward < 11 || out.AvgReward > 14 {
+		t.Errorf("avg reward %v outside the expected band", out.AvgReward)
+	}
+	fixed, err := problem.FixedPriceForConfidence(0.999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fixed.ExpectedCost <= out.ExpectedCost {
+		t.Errorf("fixed (%v) not above dynamic (%v)", fixed.ExpectedCost, out.ExpectedCost)
+	}
+	// The schedule escalates when behind.
+	late := cal.Policy.PriceAt(150, 71)
+	early := cal.Policy.PriceAt(150, 10)
+	if late <= early {
+		t.Errorf("no escalation: price %d late vs %d early at the same backlog", late, early)
+	}
+}
+
+func TestFacadeBudgetFlow(t *testing.T) {
+	problem := &BudgetProblem{
+		N:        200,
+		Budget:   2500,
+		Accept:   Paper13,
+		MinPrice: 1,
+		MaxPrice: 50,
+	}
+	strategy, err := problem.SolveHull()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(strategy.Counts) > 2 {
+		t.Errorf("strategy uses %d prices, want ≤ 2", len(strategy.Counts))
+	}
+	if strategy.TotalCost() > 2500 || strategy.NumTasks() != 200 {
+		t.Errorf("bad allocation: cost %d, tasks %d", strategy.TotalCost(), strategy.NumTasks())
+	}
+	latency := strategy.ExpectedLatency(Paper13, 5200)
+	if latency <= 0 || math.IsInf(latency, 1) {
+		t.Errorf("latency %v", latency)
+	}
+	// Simulate to confirm the analytic latency is honest.
+	times := sim.BudgetCompletion(strategy, Paper13, ConstantRate(5200), latency*4, 100, dist.NewRNG(1))
+	mean, inf := sim.FiniteMean(times)
+	if inf > 0 {
+		t.Fatalf("%d runs never finished", inf)
+	}
+	if math.Abs(mean-latency) > 0.15*latency {
+		t.Errorf("simulated mean %vh vs analytic %vh", mean, latency)
+	}
+}
+
+func TestFacadeTradeoffFlow(t *testing.T) {
+	problem := &TradeoffProblem{
+		N:        100,
+		Alpha:    200,
+		Lambda:   5200,
+		Accept:   Paper13,
+		MinPrice: 1,
+		MaxPrice: 60,
+	}
+	pol, err := problem.SolveWorkerArrival()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pol.Price[100] < 1 || pol.Price[100] > 60 {
+		t.Errorf("price %d out of range", pol.Price[100])
+	}
+	if pol.Value[100] <= 0 {
+		t.Errorf("value %v", pol.Value[100])
+	}
+}
+
+// TestFacadeCustomAcceptance: users can plug their own calibrated curve.
+func TestFacadeCustomAcceptance(t *testing.T) {
+	custom := Logistic{S: 10, B: 0.5, M: 5000}
+	if err := custom.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	problem := &DeadlineProblem{
+		N:         50,
+		Horizon:   6,
+		Intervals: 18,
+		Lambdas:   IntervalMeans(ConstantRate(6000), 6, 18),
+		Accept:    custom,
+		MaxPrice:  60,
+		Penalty:   500,
+		TruncEps:  1e-9,
+	}
+	pol, err := problem.SolveEfficient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := pol.Evaluate()
+	if out.ExpectedRemaining < 0 || out.ExpectedCost < 0 {
+		t.Errorf("bad outcome %+v", out)
+	}
+}

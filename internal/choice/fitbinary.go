@@ -1,0 +1,38 @@
+package choice
+
+import (
+	"errors"
+	"math"
+
+	"crowdpricing/internal/stats"
+)
+
+// FitBinary calibrates the Equation-3 acceptance curve from raw
+// accept/reject observations — the data a requester actually has after
+// posting tasks at assorted prices: for observation i, a worker saw the
+// task at rewards[i] cents and accepted (true) or passed (false).
+//
+// Under Equation (3), P(accept | c) = 1/(1 + exp(−(c/S − B − ln M))), a
+// logistic in c, so logistic regression on [c, 1] identifies 1/S and the
+// combined offset B + ln M. As with Fit, only the sum B + ln M is
+// identified; FitBinary reports the curve with B = 0 and M = exp(offset),
+// which reproduces the acceptance probabilities exactly.
+func FitBinary(rewards []int, accepted []bool) (Logistic, error) {
+	if len(rewards) != len(accepted) || len(rewards) < 10 {
+		return Logistic{}, errors.New("choice: need at least 10 matching observations")
+	}
+	x := make([][]float64, len(rewards))
+	for i, c := range rewards {
+		x[i] = []float64{float64(c), 1}
+	}
+	beta, err := stats.LogisticRegression(x, accepted, 200, 1e-10)
+	if err != nil {
+		return Logistic{}, err
+	}
+	if beta[0] <= 0 {
+		return Logistic{}, errors.New("choice: fitted acceptance not increasing in reward")
+	}
+	s := 1 / beta[0]
+	offset := -beta[1] // = B + ln M
+	return Logistic{S: s, B: 0, M: math.Exp(offset)}, nil
+}

@@ -1,0 +1,91 @@
+// Package convex computes lower convex hulls of planar point sets. The
+// fixed-budget pricing strategy of Section 4.3 reduces its LP to choosing
+// two adjacent vertices on the lower hull of the points (c, 1/p(c))
+// (Theorem 7); this package supplies that hull.
+package convex
+
+import "sort"
+
+// Point is a point in the plane.
+type Point struct {
+	X, Y float64
+}
+
+// LowerHull returns the vertices of the lower convex hull of pts in
+// increasing X order. Ties in X keep only the lowest Y. The input is not
+// modified. Collinear interior points are dropped, so consecutive hull
+// vertices always describe strictly convex turns.
+func LowerHull(pts []Point) []Point {
+	if len(pts) == 0 {
+		return nil
+	}
+	cp := make([]Point, len(pts))
+	copy(cp, pts)
+	sort.Slice(cp, func(i, j int) bool {
+		if cp[i].X != cp[j].X {
+			return cp[i].X < cp[j].X
+		}
+		return cp[i].Y < cp[j].Y
+	})
+	// Deduplicate identical X, keep the lowest Y (already first after sort).
+	dedup := cp[:0]
+	for i, p := range cp {
+		if i > 0 && p.X == dedup[len(dedup)-1].X {
+			continue
+		}
+		dedup = append(dedup, p)
+	}
+	cp = dedup
+
+	hull := make([]Point, 0, len(cp))
+	for _, p := range cp {
+		for len(hull) >= 2 && cross(hull[len(hull)-2], hull[len(hull)-1], p) <= 0 {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, p)
+	}
+	return hull
+}
+
+// cross returns the z-component of (b-a) × (c-a): positive when a→b→c turns
+// counter-clockwise (convex for a lower hull).
+func cross(a, b, c Point) float64 {
+	return (b.X-a.X)*(c.Y-a.Y) - (b.Y-a.Y)*(c.X-a.X)
+}
+
+// Bracket returns the pair of adjacent hull vertices (left, right) whose X
+// span contains x: left.X <= x < right.X. If x falls before the first vertex
+// both returns are the first vertex; past the last, both are the last. The
+// boolean reports whether x was strictly inside a segment (so two distinct
+// prices are needed).
+func Bracket(hull []Point, x float64) (left, right Point, interior bool) {
+	if len(hull) == 0 {
+		panic("convex: empty hull")
+	}
+	if x <= hull[0].X {
+		return hull[0], hull[0], false
+	}
+	last := hull[len(hull)-1]
+	if x >= last.X {
+		return last, last, false
+	}
+	i := sort.Search(len(hull), func(i int) bool { return hull[i].X > x })
+	// hull[i-1].X <= x < hull[i].X
+	if hull[i-1].X == x {
+		return hull[i-1], hull[i-1], false
+	}
+	return hull[i-1], hull[i], true
+}
+
+// OnHull reports whether p lies on or above the lower hull's piecewise
+// linear interpolation within the hull's X range, with tolerance tol.
+// Points outside the X range are reported as above (true).
+func OnHull(hull []Point, p Point, tol float64) bool {
+	l, r, interior := Bracket(hull, p.X)
+	if !interior {
+		return p.Y >= l.Y-tol
+	}
+	frac := (p.X - l.X) / (r.X - l.X)
+	y := l.Y + frac*(r.Y-l.Y)
+	return p.Y >= y-tol
+}

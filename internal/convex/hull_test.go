@@ -1,0 +1,118 @@
+package convex
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLowerHullTriangle(t *testing.T) {
+	pts := []Point{{0, 0}, {1, 2}, {2, 0}}
+	hull := LowerHull(pts)
+	want := []Point{{0, 0}, {2, 0}}
+	if len(hull) != 2 || hull[0] != want[0] || hull[1] != want[1] {
+		t.Errorf("hull = %v, want %v", hull, want)
+	}
+}
+
+func TestLowerHullConvexCurve(t *testing.T) {
+	// All points of a strictly convex curve are hull vertices.
+	var pts []Point
+	for x := 0.0; x <= 10; x++ {
+		pts = append(pts, Point{x, x * x})
+	}
+	hull := LowerHull(pts)
+	if len(hull) != len(pts) {
+		t.Errorf("hull has %d vertices, want %d", len(hull), len(pts))
+	}
+}
+
+func TestLowerHullCollinearDropped(t *testing.T) {
+	pts := []Point{{0, 0}, {1, 1}, {2, 2}, {3, 3}}
+	hull := LowerHull(pts)
+	if len(hull) != 2 || hull[0] != (Point{0, 0}) || hull[1] != (Point{3, 3}) {
+		t.Errorf("hull = %v, want endpoints only", hull)
+	}
+}
+
+func TestLowerHullDuplicateX(t *testing.T) {
+	pts := []Point{{0, 5}, {0, 1}, {1, 0}, {2, 4}, {2, 2}}
+	hull := LowerHull(pts)
+	// Lowest Y wins at each X; hull of (0,1),(1,0),(2,2).
+	want := []Point{{0, 1}, {1, 0}, {2, 2}}
+	if len(hull) != 3 {
+		t.Fatalf("hull = %v", hull)
+	}
+	for i := range want {
+		if hull[i] != want[i] {
+			t.Errorf("hull[%d] = %v, want %v", i, hull[i], want[i])
+		}
+	}
+}
+
+func TestLowerHullEmptyAndSingle(t *testing.T) {
+	if h := LowerHull(nil); h != nil {
+		t.Errorf("empty hull = %v", h)
+	}
+	h := LowerHull([]Point{{1, 1}})
+	if len(h) != 1 || h[0] != (Point{1, 1}) {
+		t.Errorf("single hull = %v", h)
+	}
+}
+
+// TestLowerHullProperty: every input point lies on or above the hull, and
+// the hull's vertices turn strictly convex.
+func TestLowerHullProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) < 4 {
+			return true
+		}
+		var pts []Point
+		for i := 0; i+1 < len(raw); i += 2 {
+			x := math.Mod(math.Abs(raw[i]), 100)
+			y := math.Mod(math.Abs(raw[i+1]), 100)
+			if math.IsNaN(x) || math.IsNaN(y) {
+				return true
+			}
+			pts = append(pts, Point{x, y})
+		}
+		hull := LowerHull(pts)
+		if len(hull) == 0 {
+			return false
+		}
+		for _, p := range pts {
+			if !OnHull(hull, p, 1e-9) {
+				return false
+			}
+		}
+		for i := 2; i < len(hull); i++ {
+			if cross(hull[i-2], hull[i-1], hull[i]) <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBracket(t *testing.T) {
+	hull := []Point{{0, 10}, {5, 2}, {10, 8}}
+	l, r, interior := Bracket(hull, 3)
+	if !interior || l != (Point{0, 10}) || r != (Point{5, 2}) {
+		t.Errorf("Bracket(3) = %v %v %v", l, r, interior)
+	}
+	l, r, interior = Bracket(hull, 5)
+	if interior || l != (Point{5, 2}) || r != l {
+		t.Errorf("Bracket(5) = %v %v %v", l, r, interior)
+	}
+	l, r, interior = Bracket(hull, -1)
+	if interior || l != (Point{0, 10}) {
+		t.Errorf("Bracket(-1) = %v %v %v", l, r, interior)
+	}
+	l, r, interior = Bracket(hull, 99)
+	if interior || l != (Point{10, 8}) {
+		t.Errorf("Bracket(99) = %v %v %v", l, r, interior)
+	}
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"errors"
+
+	"crowdpricing/internal/dist"
+)
+
+// FixedOutcome summarizes a fixed-price strategy: one reward assigned to all
+// tasks up-front and never changed, the scheme of Faridani et al. that the
+// paper uses as its baseline.
+type FixedOutcome struct {
+	// Price is the fixed per-task reward in cents.
+	Price int
+	// CompletionProb is P(all N tasks complete by the deadline).
+	CompletionProb float64
+	// ExpectedRemaining is E[# unfinished tasks at the deadline].
+	ExpectedRemaining float64
+	// ExpectedCost is the expected total payment: Price × E[completed].
+	ExpectedCost float64
+}
+
+// EvaluateFixed computes the exact outcome of pricing every task at price
+// for the whole horizon: completions by the deadline are Poisson with mean
+// Λ·p(price) truncated at N.
+func (p *DeadlineProblem) EvaluateFixed(price int) FixedOutcome {
+	var lambdaTotal float64
+	for _, l := range p.Lambdas {
+		lambdaTotal += l
+	}
+	mean := lambdaTotal * p.Accept.Accept(price)
+	pois := dist.Poisson{Lambda: mean}
+	out := FixedOutcome{Price: price}
+	out.CompletionProb = pois.Tail(p.N)
+	// E[remaining] = Σ_{k<N} (N−k)·PMF(k).
+	expDone := 0.0
+	for k := 0; k < p.N; k++ {
+		pk := pois.PMF(k)
+		out.ExpectedRemaining += float64(p.N-k) * pk
+		expDone += float64(k) * pk
+	}
+	expDone += float64(p.N) * out.CompletionProb
+	out.ExpectedCost = float64(price) * expDone
+	return out
+}
+
+// FixedPriceForConfidence finds, by the binary search of Faridani et al.,
+// the smallest fixed price whose completion probability reaches confidence.
+// It returns an error if even MaxPrice cannot reach the target.
+func (p *DeadlineProblem) FixedPriceForConfidence(confidence float64) (FixedOutcome, error) {
+	if err := p.Validate(); err != nil {
+		return FixedOutcome{}, err
+	}
+	lo, hi := p.MinPrice, p.MaxPrice
+	if p.EvaluateFixed(hi).CompletionProb < confidence {
+		return p.EvaluateFixed(hi), errors.New("core: confidence unreachable at MaxPrice")
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if p.EvaluateFixed(mid).CompletionProb >= confidence {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return p.EvaluateFixed(lo), nil
+}
+
+// FixedPriceForBound finds the smallest fixed price whose expected number of
+// remaining tasks is at most bound.
+func (p *DeadlineProblem) FixedPriceForBound(bound float64) (FixedOutcome, error) {
+	if err := p.Validate(); err != nil {
+		return FixedOutcome{}, err
+	}
+	lo, hi := p.MinPrice, p.MaxPrice
+	if p.EvaluateFixed(hi).ExpectedRemaining > bound {
+		return p.EvaluateFixed(hi), errors.New("core: bound unreachable at MaxPrice")
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if p.EvaluateFixed(mid).ExpectedRemaining <= bound {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return p.EvaluateFixed(lo), nil
+}
+
+// TheoreticalMinPrice returns c₀, the information-theoretic lower bound on
+// the average reward of any strategy (Section 5.2.1): the smallest price
+// with E[completions] ≥ N under infinite task supply, i.e. p(c₀) ≥ N/Λ.
+func (p *DeadlineProblem) TheoreticalMinPrice() (int, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	var lambdaTotal float64
+	for _, l := range p.Lambdas {
+		lambdaTotal += l
+	}
+	if lambdaTotal == 0 {
+		return 0, errors.New("core: zero total arrival mass")
+	}
+	target := float64(p.N) / lambdaTotal
+	for c := p.MinPrice; c <= p.MaxPrice; c++ {
+		if p.Accept.Accept(c) >= target {
+			return c, nil
+		}
+	}
+	return 0, errors.New("core: no price reaches the completion-rate target")
+}

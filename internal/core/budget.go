@@ -1,0 +1,302 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"crowdpricing/internal/choice"
+	"crowdpricing/internal/convex"
+	"crowdpricing/internal/lp"
+)
+
+// BudgetProblem is a fixed-budget pricing instance: complete N identical
+// tasks at total expected cost at most Budget cents while minimizing the
+// expected completion time (equivalently, by Section 4.2, the expected
+// number of worker arrivals E[W]).
+type BudgetProblem struct {
+	// N is the number of tasks.
+	N int
+	// Budget is the total budget in cents.
+	Budget int
+	// Accept maps a price in cents to the task acceptance probability.
+	Accept choice.AcceptanceFn
+	// MinPrice and MaxPrice bound candidate prices (inclusive). Prices
+	// whose acceptance probability is zero are skipped automatically.
+	MinPrice, MaxPrice int
+}
+
+// Validate reports whether the problem is well formed.
+func (p *BudgetProblem) Validate() error {
+	switch {
+	case p.N <= 0:
+		return errors.New("core: N must be positive")
+	case p.Budget < 0:
+		return errors.New("core: negative budget")
+	case p.Accept == nil:
+		return errors.New("core: nil acceptance function")
+	case p.MinPrice < 0 || p.MaxPrice < p.MinPrice:
+		return fmt.Errorf("core: bad price range [%d, %d]", p.MinPrice, p.MaxPrice)
+	}
+	return nil
+}
+
+// StaticStrategy assigns every task an up-front price that never changes
+// (Definition 1). By Theorem 7 at most two distinct prices are needed; the
+// strategy is stored as price → count.
+type StaticStrategy struct {
+	// Counts maps a price in cents to the number of tasks at that price.
+	Counts map[int]int
+}
+
+// Prices returns the per-task price list in descending order — the order in
+// which a marketplace drains a static strategy (highest reward first).
+func (s StaticStrategy) Prices() []int {
+	var out []int
+	for c, n := range s.Counts {
+		for i := 0; i < n; i++ {
+			out = append(out, c)
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(out)))
+	return out
+}
+
+// TotalCost returns Σ c·n_c, the committed spend in cents.
+func (s StaticStrategy) TotalCost() int {
+	total := 0
+	for c, n := range s.Counts {
+		total += c * n
+	}
+	return total
+}
+
+// NumTasks returns Σ n_c.
+func (s StaticStrategy) NumTasks() int {
+	total := 0
+	for _, n := range s.Counts {
+		total += n
+	}
+	return total
+}
+
+// ExpectedWorkerArrivals returns E[W] = Σᵢ 1/p(cᵢ) (Theorem 5): the expected
+// number of marketplace arrivals before the batch completes, which is what
+// every strategy minimizes by Theorem 3.
+func (s StaticStrategy) ExpectedWorkerArrivals(accept choice.AcceptanceFn) float64 {
+	total := 0.0
+	for c, n := range s.Counts {
+		p := accept.Accept(c)
+		if p <= 0 {
+			return math.Inf(1)
+		}
+		total += float64(n) / p
+	}
+	return total
+}
+
+// ExpectedLatency returns E[T] ≈ E[W]/λ̄ under the linearity assumption of
+// Section 4.2.2, in hours, for the given average arrival rate per hour.
+func (s StaticStrategy) ExpectedLatency(accept choice.AcceptanceFn, lambdaBar float64) float64 {
+	if lambdaBar <= 0 {
+		return math.Inf(1)
+	}
+	return s.ExpectedWorkerArrivals(accept) / lambdaBar
+}
+
+// hullPoints builds the (c, 1/p(c)) point set over the price range, skipping
+// prices with zero acceptance.
+func (p *BudgetProblem) hullPoints() []convex.Point {
+	var pts []convex.Point
+	for c := p.MinPrice; c <= p.MaxPrice; c++ {
+		acc := p.Accept.Accept(c)
+		if acc <= 0 {
+			continue
+		}
+		pts = append(pts, convex.Point{X: float64(c), Y: 1 / acc})
+	}
+	return pts
+}
+
+// SolveHull runs Algorithm 3: build the lower convex hull of (c, 1/p(c)),
+// pick the two hull prices bracketing the per-task budget B/N, and round the
+// LP split to integers. The rounding error is bounded by Theorem 8.
+func (p *BudgetProblem) SolveHull() (StaticStrategy, error) {
+	if err := p.Validate(); err != nil {
+		return StaticStrategy{}, err
+	}
+	pts := p.hullPoints()
+	if len(pts) == 0 {
+		return StaticStrategy{}, errors.New("core: no price has positive acceptance")
+	}
+	hull := convex.LowerHull(pts)
+	perTask := float64(p.Budget) / float64(p.N)
+	if perTask < hull[0].X {
+		return StaticStrategy{}, fmt.Errorf("core: budget %d cannot cover %d tasks at the minimum viable price %v", p.Budget, p.N, hull[0].X)
+	}
+	left, right, interior := convex.Bracket(hull, perTask)
+	if !interior {
+		// B/N sits exactly on a hull price (or beyond the last): a single
+		// price optimally spends up to the budget.
+		c := int(left.X)
+		return StaticStrategy{Counts: map[int]int{c: p.N}}, nil
+	}
+	c1, c2 := int(left.X), int(right.X)
+	// n1 = ⌈(c2·N − B) / (c2 − c1)⌉, n2 = N − n1 (Algorithm 3).
+	n1 := int(math.Ceil(float64(c2*p.N-p.Budget) / float64(c2-c1)))
+	if n1 < 0 {
+		n1 = 0
+	}
+	if n1 > p.N {
+		n1 = p.N
+	}
+	n2 := p.N - n1
+	counts := map[int]int{}
+	if n1 > 0 {
+		counts[c1] = n1
+	}
+	if n2 > 0 {
+		counts[c2] = n2
+	}
+	return StaticStrategy{Counts: counts}, nil
+}
+
+// SolveExactDP computes the exact optimal integer allocation by the
+// pseudo-polynomial dynamic program of Theorem 6: g[i][b] = the minimum
+// E[W] for i tasks within budget b, O(N·B·C) time.
+func (p *BudgetProblem) SolveExactDP() (StaticStrategy, error) {
+	if err := p.Validate(); err != nil {
+		return StaticStrategy{}, err
+	}
+	type cand struct {
+		price int
+		inv   float64
+	}
+	var cands []cand
+	for c := p.MinPrice; c <= p.MaxPrice; c++ {
+		if acc := p.Accept.Accept(c); acc > 0 {
+			cands = append(cands, cand{price: c, inv: 1 / acc})
+		}
+	}
+	if len(cands) == 0 {
+		return StaticStrategy{}, errors.New("core: no price has positive acceptance")
+	}
+	const inf = math.MaxFloat64
+	// g[b] = minimum E[W] for the tasks processed so far at exact spend b;
+	// choicePrice[i][b] records the price given to the i-th task on the
+	// optimal path reaching spend b.
+	g := make([]float64, p.Budget+1)
+	ng := make([]float64, p.Budget+1)
+	for b := 1; b <= p.Budget; b++ {
+		g[b] = inf
+	}
+	choicePrice := make([][]int32, p.N+1)
+	for i := range choicePrice {
+		choicePrice[i] = make([]int32, p.Budget+1)
+	}
+	for i := 1; i <= p.N; i++ {
+		for b := range ng {
+			ng[b] = inf
+			choicePrice[i][b] = -1
+		}
+		for b := 0; b <= p.Budget; b++ {
+			if g[b] == inf {
+				continue
+			}
+			for _, cd := range cands {
+				nb := b + cd.price
+				if nb > p.Budget {
+					break
+				}
+				if v := g[b] + cd.inv; v < ng[nb] {
+					ng[nb] = v
+					choicePrice[i][nb] = int32(cd.price)
+				}
+			}
+		}
+		copy(g, ng)
+	}
+	// Find the best reachable budget.
+	bestB, bestV := -1, inf
+	for b := 0; b <= p.Budget; b++ {
+		if g[b] < bestV {
+			bestV = g[b]
+			bestB = b
+		}
+	}
+	if bestB < 0 {
+		return StaticStrategy{}, errors.New("core: budget cannot cover all tasks")
+	}
+	counts := map[int]int{}
+	b := bestB
+	for i := p.N; i >= 1; i-- {
+		c := int(choicePrice[i][b])
+		if c < 0 {
+			return StaticStrategy{}, errors.New("core: internal DP reconstruction failure")
+		}
+		counts[c]++
+		b -= c
+	}
+	return StaticStrategy{Counts: counts}, nil
+}
+
+// SolveLP solves the relaxed LP of Section 4.3 with the generic simplex
+// solver and returns the (possibly fractional) allocation per price. It
+// exists to cross-validate SolveHull: by Theorem 7 the LP optimum uses at
+// most two prices, both on the lower hull.
+func (p *BudgetProblem) SolveLP() (map[int]float64, float64, error) {
+	if err := p.Validate(); err != nil {
+		return nil, 0, err
+	}
+	var prices []int
+	var obj []float64
+	for c := p.MinPrice; c <= p.MaxPrice; c++ {
+		if acc := p.Accept.Accept(c); acc > 0 {
+			prices = append(prices, c)
+			obj = append(obj, 1/acc)
+		}
+	}
+	if len(prices) == 0 {
+		return nil, 0, errors.New("core: no price has positive acceptance")
+	}
+	eqRow := make([]float64, len(prices))
+	budgetRow := make([]float64, len(prices))
+	for i, c := range prices {
+		eqRow[i] = 1
+		budgetRow[i] = float64(c)
+	}
+	sol, err := lp.Solve(lp.Problem{
+		Objective: obj,
+		Constraints: []lp.Constraint{
+			{Coeffs: eqRow, Rel: lp.EQ, RHS: float64(p.N)},
+			{Coeffs: budgetRow, Rel: lp.LE, RHS: float64(p.Budget)},
+		},
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	alloc := map[int]float64{}
+	for i, c := range prices {
+		if sol.X[i] > 1e-9 {
+			alloc[c] = sol.X[i]
+		}
+	}
+	return alloc, sol.Objective, nil
+}
+
+// SemiStaticExpectedArrivals returns E[W] = Σ 1/p(cᵢ) for an arbitrary
+// semi-static price sequence (Definition 2). Theorem 5 says the order of the
+// sequence is irrelevant, so this equals the static strategy value for any
+// permutation.
+func SemiStaticExpectedArrivals(prices []int, accept choice.AcceptanceFn) float64 {
+	total := 0.0
+	for _, c := range prices {
+		p := accept.Accept(c)
+		if p <= 0 {
+			return math.Inf(1)
+		}
+		total += 1 / p
+	}
+	return total
+}

@@ -1,0 +1,287 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"crowdpricing/internal/choice"
+	"crowdpricing/internal/convex"
+	"crowdpricing/internal/dist"
+)
+
+func testBudgetProblem(n, budget int) *BudgetProblem {
+	return &BudgetProblem{
+		N:        n,
+		Budget:   budget,
+		Accept:   choice.Paper13,
+		MinPrice: 1,
+		MaxPrice: 40,
+	}
+}
+
+func TestBudgetValidate(t *testing.T) {
+	if err := testBudgetProblem(10, 100).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []*BudgetProblem{
+		{N: 0, Budget: 10, Accept: choice.Paper13, MaxPrice: 5},
+		{N: 1, Budget: -1, Accept: choice.Paper13, MaxPrice: 5},
+		{N: 1, Budget: 10, Accept: nil, MaxPrice: 5},
+		{N: 1, Budget: 10, Accept: choice.Paper13, MinPrice: 6, MaxPrice: 5},
+	}
+	for i, c := range cases {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+// TestSolveHullUsesAtMostTwoPrices is Theorem 7's structure surfacing in the
+// solution.
+func TestSolveHullUsesAtMostTwoPrices(t *testing.T) {
+	s, err := testBudgetProblem(200, 2500).SolveHull()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Counts) > 2 {
+		t.Errorf("strategy uses %d prices, want ≤ 2: %v", len(s.Counts), s.Counts)
+	}
+	if s.NumTasks() != 200 {
+		t.Errorf("tasks = %d, want 200", s.NumTasks())
+	}
+	if s.TotalCost() > 2500 {
+		t.Errorf("cost %d exceeds budget", s.TotalCost())
+	}
+}
+
+// TestHullPricesAreAdjacentHullVertices: the chosen prices must be hull
+// vertices bracketing B/N.
+func TestHullPricesAreAdjacentHullVertices(t *testing.T) {
+	p := testBudgetProblem(200, 2500)
+	s, err := p.SolveHull()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hull := convex.LowerHull(p.hullPoints())
+	onHull := map[int]bool{}
+	for _, v := range hull {
+		onHull[int(v.X)] = true
+	}
+	for c := range s.Counts {
+		if !onHull[c] {
+			t.Errorf("price %d is not a hull vertex", c)
+		}
+	}
+}
+
+// TestExactDPMatchesHullWithinRounding: Theorem 8 bounds the rounded-LP gap
+// by 1/p(c1) − 1/p(c2); the exact DP must be no worse and within that gap.
+func TestExactDPMatchesHullWithinRounding(t *testing.T) {
+	p := testBudgetProblem(50, 700)
+	hull, err := p.SolveHull()
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := p.SolveExactDP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw := hull.ExpectedWorkerArrivals(p.Accept)
+	ew := exact.ExpectedWorkerArrivals(p.Accept)
+	if ew > hw+1e-9 {
+		t.Errorf("exact DP (%v) worse than hull strategy (%v)", ew, hw)
+	}
+	// Theorem 8 gap bound.
+	var c1, c2 = math.MaxInt, 0
+	for c := range hull.Counts {
+		if c < c1 {
+			c1 = c
+		}
+		if c > c2 {
+			c2 = c
+		}
+	}
+	gap := 1/p.Accept.Accept(c1) - 1/p.Accept.Accept(c2)
+	if hw-ew > gap+1e-9 {
+		t.Errorf("hull gap %v exceeds Theorem 8 bound %v", hw-ew, gap)
+	}
+	if exact.TotalCost() > p.Budget {
+		t.Errorf("exact DP overspends: %d > %d", exact.TotalCost(), p.Budget)
+	}
+}
+
+// TestLPMatchesHull: the simplex LP relaxation and the hull construction
+// agree on the optimal objective (hull is the analytic solution of the LP).
+func TestLPMatchesHull(t *testing.T) {
+	p := testBudgetProblem(80, 1100)
+	alloc, obj, err := p.SolveLP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alloc) > 2 {
+		t.Errorf("LP solution uses %d prices, want ≤ 2 (Theorem 7): %v", len(alloc), alloc)
+	}
+	// Rebuild the fractional hull objective for comparison.
+	hullStrategy, err := p.SolveHull()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hullObj := hullStrategy.ExpectedWorkerArrivals(p.Accept)
+	// The rounded hull solution may exceed the LP bound by at most the
+	// Theorem 8 gap (one task moved between the two prices).
+	if hullObj < obj-1e-6 {
+		t.Errorf("hull (%v) beats the LP relaxation (%v): impossible", hullObj, obj)
+	}
+	var worst float64
+	for c := range hullStrategy.Counts {
+		if v := 1 / p.Accept.Accept(c); v > worst {
+			worst = v
+		}
+	}
+	if hullObj > obj+worst {
+		t.Errorf("hull (%v) exceeds LP (%v) by more than one task's 1/p", hullObj, obj)
+	}
+}
+
+// TestSemiStaticOrderInvariance is Theorem 5: E[W] depends only on the
+// multiset of prices, not their order.
+func TestSemiStaticOrderInvariance(t *testing.T) {
+	prices := []int{5, 20, 11, 8, 30, 5}
+	base := SemiStaticExpectedArrivals(prices, choice.Paper13)
+	perm := []int{30, 5, 5, 8, 20, 11}
+	if got := SemiStaticExpectedArrivals(perm, choice.Paper13); math.Abs(got-base) > 1e-12 {
+		t.Errorf("permutation changed E[W]: %v vs %v", got, base)
+	}
+	// Matches the closed form Σ 1/p(c).
+	want := 0.0
+	for _, c := range prices {
+		want += 1 / choice.Paper13.Accept(c)
+	}
+	if math.Abs(base-want) > 1e-12 {
+		t.Errorf("E[W] = %v, want %v", base, want)
+	}
+}
+
+// TestTheorem5MonteCarlo simulates a semi-static strategy on a homogeneous
+// arrival stream and compares the empirical worker-arrival count with
+// Σ 1/p(cᵢ).
+func TestTheorem5MonteCarlo(t *testing.T) {
+	prices := []int{25, 10, 32}
+	accept := choice.Paper13
+	want := SemiStaticExpectedArrivals(prices, accept)
+	r := dist.NewRNG(21)
+	const trials = 3000
+	sum := 0.0
+	for i := 0; i < trials; i++ {
+		arrivals := 0
+		for _, c := range prices {
+			p := accept.Accept(c)
+			arrivals += dist.Geometric{P: p}.Sample(r) + 1
+		}
+		sum += float64(arrivals)
+	}
+	got := sum / trials
+	if math.Abs(got-want) > 0.05*want {
+		t.Errorf("simulated E[W] = %v, closed form %v", got, want)
+	}
+}
+
+// TestBudgetMonotone: more budget can never increase optimal E[W].
+func TestBudgetMonotone(t *testing.T) {
+	prev := math.Inf(1)
+	for _, b := range []int{600, 1000, 1500, 2500, 4000} {
+		s, err := testBudgetProblem(50, b).SolveHull()
+		if err != nil {
+			t.Fatalf("budget %d: %v", b, err)
+		}
+		w := s.ExpectedWorkerArrivals(choice.Paper13)
+		if w > prev+1e-9 {
+			t.Errorf("budget %d: E[W]=%v rose above %v", b, w, prev)
+		}
+		prev = w
+	}
+}
+
+// TestBudgetInfeasible: a budget below N·minViablePrice errors out.
+func TestBudgetInfeasible(t *testing.T) {
+	p := testBudgetProblem(100, 0)
+	p.MinPrice = 5
+	if _, err := p.SolveHull(); err == nil {
+		t.Error("want infeasibility error from SolveHull")
+	}
+	if _, err := p.SolveExactDP(); err == nil {
+		t.Error("want infeasibility error from SolveExactDP")
+	}
+}
+
+// TestHullStrategyPropertyBudgetRespected: for random feasible instances the
+// hull strategy never overspends and always allocates exactly N tasks.
+func TestHullStrategyPropertyBudgetRespected(t *testing.T) {
+	f := func(nRaw, bRaw int) bool {
+		n := 1 + abs(nRaw)%300
+		minSpend := n * 1 // MinPrice 1
+		b := minSpend + abs(bRaw)%(40*n)
+		s, err := testBudgetProblem(n, b).SolveHull()
+		if err != nil {
+			return false
+		}
+		return s.NumTasks() == n && s.TotalCost() <= b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestExactBudgetBoundary: budget exactly N·c for hull price c yields the
+// single-price solution.
+func TestExactBudgetBoundary(t *testing.T) {
+	p := testBudgetProblem(10, 100) // B/N = 10 exactly
+	s, err := p.SolveHull()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Counts) != 1 {
+		t.Fatalf("counts = %v, want single price", s.Counts)
+	}
+	for c := range s.Counts {
+		if c != 10 {
+			t.Errorf("price %d, want 10", c)
+		}
+	}
+}
+
+// TestPricesDescending: the drain order lists highest prices first.
+func TestPricesDescending(t *testing.T) {
+	s := StaticStrategy{Counts: map[int]int{5: 2, 9: 1}}
+	prices := s.Prices()
+	want := []int{9, 5, 5}
+	if len(prices) != 3 {
+		t.Fatalf("prices = %v", prices)
+	}
+	for i := range want {
+		if prices[i] != want[i] {
+			t.Errorf("prices = %v, want %v", prices, want)
+			break
+		}
+	}
+}
+
+// TestExpectedLatencyScaling: E[T] = E[W]/λ̄.
+func TestExpectedLatencyScaling(t *testing.T) {
+	s := StaticStrategy{Counts: map[int]int{12: 10}}
+	w := s.ExpectedWorkerArrivals(choice.Paper13)
+	if got := s.ExpectedLatency(choice.Paper13, 2000); math.Abs(got-w/2000) > 1e-12 {
+		t.Errorf("latency = %v, want %v", got, w/2000)
+	}
+	if !math.IsInf(s.ExpectedLatency(choice.Paper13, 0), 1) {
+		t.Error("zero arrival rate should give infinite latency")
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,37 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Coarsen returns a copy of the problem whose decision epochs are hold
+// intervals of the original grid merged together — the marketplace
+// constraint Section 2.3 mentions ("some marketplaces may impose a minimum
+// time only after which the task reward may be changed"). A policy solved on
+// the coarsened problem changes price at most once per hold×(original
+// interval length) and is directly comparable to the fine-grained policy,
+// which is how Figure 8(d)'s granularity sweep is built.
+//
+// The original interval count must be divisible by hold: merged intervals
+// with ragged tails would bias the λ_t of Equation (4).
+func (p *DeadlineProblem) Coarsen(hold int) (*DeadlineProblem, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if hold <= 0 {
+		return nil, errors.New("core: hold must be positive")
+	}
+	if p.Intervals%hold != 0 {
+		return nil, fmt.Errorf("core: %d intervals not divisible by hold %d", p.Intervals, hold)
+	}
+	q := *p
+	q.Intervals = p.Intervals / hold
+	q.Lambdas = make([]float64, q.Intervals)
+	for i := range q.Lambdas {
+		for j := 0; j < hold; j++ {
+			q.Lambdas[i] += p.Lambdas[i*hold+j]
+		}
+	}
+	return &q, nil
+}

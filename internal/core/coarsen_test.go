@@ -1,0 +1,112 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCoarsenLambdaConservation(t *testing.T) {
+	p := testProblem(30, 12)
+	q, err := p.Coarsen(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Intervals != 4 {
+		t.Fatalf("intervals = %d, want 4", q.Intervals)
+	}
+	var a, b float64
+	for _, l := range p.Lambdas {
+		a += l
+	}
+	for _, l := range q.Lambdas {
+		b += l
+	}
+	if math.Abs(a-b) > 1e-9 {
+		t.Errorf("arrival mass changed: %v vs %v", a, b)
+	}
+	// The original is untouched.
+	if p.Intervals != 12 || len(p.Lambdas) != 12 {
+		t.Error("Coarsen mutated its receiver")
+	}
+}
+
+// TestCoarsenCostMonotone: restricting price changes can only cost more —
+// the Section 5.2.3 granularity effect, with the coarse policy's value
+// bounded below by the fine policy's.
+func TestCoarsenCostMonotone(t *testing.T) {
+	p := testProblem(40, 12)
+	fine, err := p.SolveEfficient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := fine.Opt[0][p.N]
+	for _, hold := range []int{2, 3, 6, 12} {
+		q, err := p.Coarsen(hold)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pol, err := q.SolveEfficient()
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := pol.Opt[0][q.N]
+		if v < prev-1e-6 {
+			t.Errorf("hold %d: value %v below finer grid's %v", hold, v, prev)
+		}
+		prev = v
+	}
+}
+
+// TestCoarsenHoldOneIsIdentity: hold=1 reproduces the original solution.
+func TestCoarsenHoldOneIsIdentity(t *testing.T) {
+	p := testProblem(20, 6)
+	q, err := p.Coarsen(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := p.SolveEfficient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := q.SolveEfficient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.Opt[0][p.N]-b.Opt[0][p.N]) > 1e-12 {
+		t.Errorf("hold=1 changed the value: %v vs %v", a.Opt[0][p.N], b.Opt[0][p.N])
+	}
+}
+
+func TestCoarsenValidation(t *testing.T) {
+	p := testProblem(10, 12)
+	if _, err := p.Coarsen(0); err == nil {
+		t.Error("hold=0 accepted")
+	}
+	if _, err := p.Coarsen(5); err == nil {
+		t.Error("ragged hold accepted")
+	}
+	bad := testProblem(10, 12)
+	bad.N = 0
+	if _, err := bad.Coarsen(2); err == nil {
+		t.Error("invalid problem accepted")
+	}
+}
+
+// TestMultiTypeEvaluateMatchesOpt: the forward evaluation's payment plus
+// terminal penalty reproduces the joint DP's root value.
+func TestMultiTypeEvaluateMatchesOpt(t *testing.T) {
+	mp := testMultiType()
+	pol, err := mp.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost, remaining := pol.Evaluate()
+	total := cost + remaining*mp.Penalty
+	root := pol.Opt[0][mp.idx(mp.N1, mp.N2)]
+	if math.Abs(total-root) > 1e-6*(1+root) {
+		t.Errorf("evaluate total %v, Opt %v", total, root)
+	}
+	if remaining < 0 || cost < 0 {
+		t.Errorf("negative metrics: cost %v remaining %v", cost, remaining)
+	}
+}

@@ -1,0 +1,299 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"crowdpricing/internal/choice"
+	"crowdpricing/internal/mdp"
+)
+
+func testTradeoff() *TradeoffProblem {
+	return &TradeoffProblem{
+		N:        20,
+		Alpha:    50, // cents per hour of latency
+		Lambda:   2000,
+		Accept:   choice.Paper13,
+		MinPrice: 1,
+		MaxPrice: 40,
+	}
+}
+
+func TestTradeoffValidate(t *testing.T) {
+	if err := testTradeoff().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []*TradeoffProblem{
+		{N: 0, Alpha: 1, Lambda: 1, Accept: choice.Paper13, MaxPrice: 5},
+		{N: 1, Alpha: -1, Lambda: 1, Accept: choice.Paper13, MaxPrice: 5},
+		{N: 1, Alpha: 1, Lambda: 0, Accept: choice.Paper13, MaxPrice: 5},
+		{N: 1, Alpha: 1, Lambda: 1, Accept: nil, MaxPrice: 5},
+		{N: 1, Alpha: 1, Lambda: 1, Accept: choice.Paper13, MinPrice: 9, MaxPrice: 5},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+// TestTradeoffValueLinearInN: the telescoped Bellman equation makes
+// Opt(n) = n · min_c(c + cost/q(c)), so values are exactly linear.
+func TestTradeoffValueLinearInN(t *testing.T) {
+	for _, solve := range []func(*TradeoffProblem) (*TradeoffPolicy, error){
+		(*TradeoffProblem).SolveFixedRate,
+		(*TradeoffProblem).SolveWorkerArrival,
+	} {
+		pol, err := solve(testTradeoff())
+		if err != nil {
+			t.Fatal(err)
+		}
+		inc := pol.Value[1]
+		for n := 2; n <= 20; n++ {
+			if math.Abs(pol.Value[n]-float64(n)*inc) > 1e-9*(1+pol.Value[n]) {
+				t.Errorf("Value[%d] = %v, want %v", n, pol.Value[n], float64(n)*inc)
+			}
+		}
+		if pol.Value[0] != 0 {
+			t.Errorf("Value[0] = %v", pol.Value[0])
+		}
+	}
+}
+
+// TestTradeoffAlphaRaisesPrice: more impatience (higher α) never lowers the
+// optimal price.
+func TestTradeoffAlphaRaisesPrice(t *testing.T) {
+	prev := -1
+	for _, alpha := range []float64{1, 10, 100, 1000, 10000} {
+		p := testTradeoff()
+		p.Alpha = alpha
+		pol, err := p.SolveWorkerArrival()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pol.Price[1] < prev {
+			t.Errorf("alpha=%v: price %d dropped below %d", alpha, pol.Price[1], prev)
+		}
+		prev = pol.Price[1]
+	}
+}
+
+// TestTradeoffMatchesValueIteration cross-validates the telescoped
+// worker-arrival solution against the generic value-iteration solver on the
+// same stochastic shortest path MDP.
+func TestTradeoffMatchesValueIteration(t *testing.T) {
+	p := testTradeoff()
+	p.N = 6
+	pol, err := p.SolveWorkerArrival()
+	if err != nil {
+		t.Fatal(err)
+	}
+	perArrival := p.Alpha / p.Lambda
+	m := mdp.Stationary{
+		States:  p.N + 1,
+		Actions: p.MaxPrice - p.MinPrice + 1,
+		Transitions: func(s, a int) []mdp.Transition {
+			if s == 0 {
+				return nil
+			}
+			c := p.MinPrice + a
+			q := p.Accept.Accept(c)
+			return []mdp.Transition{
+				{Next: s - 1, Prob: q, Cost: float64(c) + perArrival},
+				{Next: s, Prob: 1 - q, Cost: perArrival},
+			}
+		},
+		Absorbing: func(s int) bool { return s == 0 },
+	}
+	v, _, err := mdp.SolveValueIteration(m, 1e-10, 2_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n <= p.N; n++ {
+		if math.Abs(v[n]-pol.Value[n]) > 1e-5*(1+v[n]) {
+			t.Errorf("V(%d): value iteration %v, telescoped %v", n, v[n], pol.Value[n])
+		}
+	}
+}
+
+// TestTradeoffFixedRateSmallStep: the fixed-rate and worker-arrival answers
+// converge as the step shrinks (q ≈ m for small m).
+func TestTradeoffFixedRateSmallStep(t *testing.T) {
+	p := testTradeoff()
+	fr, err := p.SolveFixedRate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wa, err := p.SolveWorkerArrival()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(fr.Value[p.N] - wa.Value[p.N]); d > 0.05*wa.Value[p.N] {
+		t.Errorf("fixed-rate %v and worker-arrival %v diverge by %v", fr.Value[p.N], wa.Value[p.N], d)
+	}
+}
+
+func testMultiType() *MultiTypeProblem {
+	lambdas := make([]float64, 6)
+	for i := range lambdas {
+		lambdas[i] = 1733
+	}
+	return &MultiTypeProblem{
+		N1: 8, N2: 6, Intervals: 6, Lambdas: lambdas,
+		Accept1:  choice.Paper13,
+		Accept2:  choice.Logistic{S: 15, B: 0.2, M: 2000}, // less attractive type
+		MinPrice: 0, MaxPrice: 20, Penalty: 300, TruncEps: 1e-9,
+	}
+}
+
+func TestMultiTypeValidate(t *testing.T) {
+	if err := testMultiType().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p := testMultiType()
+	p.N1 = 0
+	if err := p.Validate(); err == nil {
+		t.Error("N1=0 accepted")
+	}
+}
+
+// TestMultiTypeReducesToSingle: with one type emptied, the joint DP must
+// reproduce the single-type DP's value function.
+func TestMultiTypeReducesToSingle(t *testing.T) {
+	mp := testMultiType()
+	pol, err := mp.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := &DeadlineProblem{
+		N: mp.N1, Horizon: 2, Intervals: mp.Intervals, Lambdas: mp.Lambdas,
+		Accept: mp.Accept1, MinPrice: mp.MinPrice, MaxPrice: mp.MaxPrice,
+		Penalty: mp.Penalty, TruncEps: mp.TruncEps,
+	}
+	sp, err := single.SolveSimple()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tt := 0; tt <= mp.Intervals; tt++ {
+		for n1 := 0; n1 <= mp.N1; n1++ {
+			joint := pol.Opt[tt][mp.idx(n1, 0)]
+			want := sp.Opt[tt][n1]
+			if math.Abs(joint-want) > 1e-6*(1+want) {
+				t.Fatalf("Opt[t=%d][n1=%d, n2=0] = %v, single-type %v", tt, n1, joint, want)
+			}
+		}
+	}
+}
+
+// TestMultiTypeLessAttractiveCostsMore: the type with lower intrinsic
+// utility (higher B) needs a higher price at the same backlog.
+func TestMultiTypeLessAttractiveCostsMore(t *testing.T) {
+	mp := testMultiType()
+	mp.N1, mp.N2 = 6, 6
+	pol, err := mp.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, c2 := pol.PricesAt(6, 6, 0)
+	if c2 < c1 {
+		t.Errorf("less attractive type priced lower: c1=%d c2=%d", c1, c2)
+	}
+}
+
+func TestMultiTypePricesAtClamps(t *testing.T) {
+	mp := testMultiType()
+	pol, err := mp.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := pol.PricesAt(-5, 999, -3)
+	a2, b2 := pol.PricesAt(0, mp.N2, 0)
+	if a != a2 || b != b2 {
+		t.Errorf("clamping mismatch: (%d,%d) vs (%d,%d)", a, b, a2, b2)
+	}
+}
+
+func TestMajorityVoteWorstCase(t *testing.T) {
+	q, err := MajorityVote(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// From the origin: worst case is 3 answers (e.g. 1 Yes, 1 No, then one
+	// more).
+	if got := q.WorstCaseAdditional(0, 0); got != 3 {
+		t.Errorf("worst case from origin = %d, want 3", got)
+	}
+	// At (1,1), one more answer always decides.
+	if got := q.WorstCaseAdditional(1, 1); got != 1 {
+		t.Errorf("worst case at (1,1) = %d, want 1", got)
+	}
+	// Decision points need nothing.
+	if got := q.WorstCaseAdditional(2, 0); got != 0 {
+		t.Errorf("worst case at (2,0) = %d, want 0", got)
+	}
+	if _, err := MajorityVote(4); err == nil {
+		t.Error("even k accepted")
+	}
+	if _, err := MajorityVote(0); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestMajorityVoteFive(t *testing.T) {
+	q, err := MajorityVote(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.WorstCaseAdditional(0, 0); got != 5 {
+		t.Errorf("worst case from origin = %d, want 5", got)
+	}
+	if got := q.WorstCaseAdditional(2, 2); got != 1 {
+		t.Errorf("worst case at (2,2) = %d, want 1", got)
+	}
+}
+
+// TestPlanWithQuality: the plan inflates the task count by the worst case
+// and tracks load as tasks progress.
+func TestPlanWithQuality(t *testing.T) {
+	base := testProblem(10, 6)
+	q, err := MajorityVote(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := PlanWithQuality(base, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.PerTaskWorstCase != 3 {
+		t.Fatalf("per-task worst case = %d", plan.PerTaskWorstCase)
+	}
+	if plan.Policy.Problem.N != 30 {
+		t.Errorf("policy sized for N=%d, want 30", plan.Policy.Problem.N)
+	}
+	// Ten fresh tasks → load 30.
+	tasks := make([]TaskPoint, 10)
+	if got := plan.Load(tasks); got != 30 {
+		t.Errorf("fresh load = %d, want 30", got)
+	}
+	// The example from the paper: 5 tasks at (1,1), 2 at (2,0), 3 at (0,2)
+	// → load 5·1 + 0 + 0 = 5.
+	tasks = nil
+	for i := 0; i < 5; i++ {
+		tasks = append(tasks, TaskPoint{1, 1})
+	}
+	for i := 0; i < 2; i++ {
+		tasks = append(tasks, TaskPoint{2, 0})
+	}
+	for i := 0; i < 3; i++ {
+		tasks = append(tasks, TaskPoint{0, 2})
+	}
+	if got := plan.Load(tasks); got != 5 {
+		t.Errorf("paper example load = %d, want 5", got)
+	}
+	// PriceAt with lower load must not exceed the full-backlog price.
+	full := plan.PriceAt(make([]TaskPoint, 10), 5)
+	light := plan.PriceAt(tasks, 5)
+	if light > full {
+		t.Errorf("lighter load priced higher: %d > %d", light, full)
+	}
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"crowdpricing/internal/choice"
+)
+
+// randomProblem derives a small but varied deadline instance from raw
+// generator values.
+func randomProblem(nRaw, intervalsRaw int, lambdaRaw, sRaw, bRaw, mRaw, penRaw float64) *DeadlineProblem {
+	n := 1 + abs(nRaw)%25
+	intervals := 2 + abs(intervalsRaw)%8
+	baseLambda := 100 + math.Mod(math.Abs(lambdaRaw), 3000)
+	lambdas := make([]float64, intervals)
+	for i := range lambdas {
+		lambdas[i] = baseLambda * (0.5 + 0.5*math.Abs(math.Sin(float64(i)+lambdaRaw)))
+	}
+	accept := choice.Logistic{
+		S: 5 + math.Mod(math.Abs(sRaw), 25),
+		B: math.Mod(bRaw, 1.5),
+		M: 200 + math.Mod(math.Abs(mRaw), 8000),
+	}
+	return &DeadlineProblem{
+		N:         n,
+		Horizon:   float64(intervals) / 3,
+		Intervals: intervals,
+		Lambdas:   lambdas,
+		Accept:    accept,
+		MinPrice:  0,
+		MaxPrice:  25,
+		Penalty:   10 + math.Mod(math.Abs(penRaw), 2000),
+		TruncEps:  1e-9,
+	}
+}
+
+// TestPropertyEvaluateMatchesOpt: for random instances, the forward
+// evaluation's payment + penalty always reproduces the DP's root value.
+func TestPropertyEvaluateMatchesOpt(t *testing.T) {
+	f := func(nRaw, intervalsRaw int, lambdaRaw, sRaw, bRaw, mRaw, penRaw float64) bool {
+		if anyNaN(lambdaRaw, sRaw, bRaw, mRaw, penRaw) {
+			return true
+		}
+		p := randomProblem(nRaw, intervalsRaw, lambdaRaw, sRaw, bRaw, mRaw, penRaw)
+		pol, err := p.SolveEfficient()
+		if err != nil {
+			return false
+		}
+		out := pol.Evaluate()
+		expPenalty := 0.0
+		for n := 1; n <= p.N; n++ {
+			expPenalty += (float64(n) + p.Alpha) * p.Penalty * out.Remaining[n]
+		}
+		total := out.ExpectedCost + expPenalty
+		return math.Abs(total-pol.Opt[0][p.N]) <= 1e-6*(1+total)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertySimpleEqualsEfficient: the monotone search never changes the
+// value function on random instances (Conjecture 1 in the wild).
+func TestPropertySimpleEqualsEfficient(t *testing.T) {
+	f := func(nRaw, intervalsRaw int, lambdaRaw, sRaw, bRaw, mRaw, penRaw float64) bool {
+		if anyNaN(lambdaRaw, sRaw, bRaw, mRaw, penRaw) {
+			return true
+		}
+		p := randomProblem(nRaw, intervalsRaw, lambdaRaw, sRaw, bRaw, mRaw, penRaw)
+		simple, err := p.SolveSimple()
+		if err != nil {
+			return false
+		}
+		efficient, err := p.SolveEfficient()
+		if err != nil {
+			return false
+		}
+		for tt := 0; tt <= p.Intervals; tt++ {
+			for n := 0; n <= p.N; n++ {
+				a, b := simple.Opt[tt][n], efficient.Opt[tt][n]
+				if math.Abs(a-b) > 1e-9*(1+math.Abs(a)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyPolicyWithinBounds: every stored price respects the range and
+// values are non-negative and monotone in n.
+func TestPropertyPolicyWithinBounds(t *testing.T) {
+	f := func(nRaw, intervalsRaw int, lambdaRaw, sRaw, bRaw, mRaw, penRaw float64) bool {
+		if anyNaN(lambdaRaw, sRaw, bRaw, mRaw, penRaw) {
+			return true
+		}
+		p := randomProblem(nRaw, intervalsRaw, lambdaRaw, sRaw, bRaw, mRaw, penRaw)
+		pol, err := p.SolveEfficient()
+		if err != nil {
+			return false
+		}
+		for tt := 0; tt < p.Intervals; tt++ {
+			for n := 0; n <= p.N; n++ {
+				c := pol.Price[tt][n]
+				if c < p.MinPrice || c > p.MaxPrice {
+					return false
+				}
+				if pol.Opt[tt][n] < -1e-9 {
+					return false
+				}
+				if n > 0 && pol.Opt[tt][n] < pol.Opt[tt][n-1]-1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyOptBelowFixedBaseline: the DP can always imitate any fixed
+// price, so its value never exceeds the best fixed strategy's
+// cost-plus-penalty.
+func TestPropertyOptBelowFixedBaseline(t *testing.T) {
+	f := func(nRaw, intervalsRaw int, lambdaRaw, sRaw, bRaw, mRaw, penRaw float64) bool {
+		if anyNaN(lambdaRaw, sRaw, bRaw, mRaw, penRaw) {
+			return true
+		}
+		p := randomProblem(nRaw, intervalsRaw, lambdaRaw, sRaw, bRaw, mRaw, penRaw)
+		pol, err := p.SolveEfficient()
+		if err != nil {
+			return false
+		}
+		bestFixed := math.Inf(1)
+		for c := p.MinPrice; c <= p.MaxPrice; c++ {
+			out := p.EvaluateFixed(c)
+			total := out.ExpectedCost + out.ExpectedRemaining*p.Penalty
+			if total < bestFixed {
+				bestFixed = total
+			}
+		}
+		// A small tolerance covers the truncated-tail bookkeeping
+		// difference between the two evaluations.
+		return pol.Opt[0][p.N] <= bestFixed+1e-6*(1+bestFixed)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func anyNaN(xs ...float64) bool {
+	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+	}
+	return false
+}

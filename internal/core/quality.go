@@ -1,0 +1,140 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// QualityStrategy is a per-task quality-control strategy in the style of
+// CrowdScreen (Section 6, "Incorporating Quality Control for Filtering
+// Tasks"): a task sits at a point (x, y) counting its No and Yes answers so
+// far, and each point either requests another answer or terminates with a
+// PASS/FAIL decision. The pricing integration only needs the worst-case
+// number of additional answers from each live point.
+type QualityStrategy struct {
+	// MaxAnswers is the largest x+y the strategy can reach.
+	MaxAnswers int
+	// terminal[x][y] reports whether (x, y) is a decision point.
+	terminal [][]bool
+}
+
+// MajorityVote builds the classic k-answer majority strategy (k odd): keep
+// asking until one side holds a strict majority of k, i.e. reaches
+// ⌈k/2⌉ answers. This is the "small majority vote quality-control strategy"
+// the paper cites as the typical case (k points ≈ 9 for k = 3).
+func MajorityVote(k int) (QualityStrategy, error) {
+	if k < 1 || k%2 == 0 {
+		return QualityStrategy{}, fmt.Errorf("core: majority vote needs odd k, got %d", k)
+	}
+	need := k/2 + 1
+	q := QualityStrategy{MaxAnswers: k}
+	q.terminal = make([][]bool, k+1)
+	for x := 0; x <= k; x++ {
+		q.terminal[x] = make([]bool, k+1)
+		for y := 0; y+x <= k; y++ {
+			q.terminal[x][y] = x >= need || y >= need
+		}
+	}
+	return q, nil
+}
+
+// NewQualityStrategy builds a QualityStrategy from an arbitrary terminal
+// predicate over the triangular grid x+y ≤ maxAnswers — the adapter that
+// plugs synthesized filtering strategies (internal/filter) into the pricing
+// integration without a package dependency in either direction.
+func NewQualityStrategy(maxAnswers int, terminal func(x, y int) bool) (QualityStrategy, error) {
+	if maxAnswers < 1 {
+		return QualityStrategy{}, errors.New("core: maxAnswers must be at least 1")
+	}
+	q := QualityStrategy{MaxAnswers: maxAnswers}
+	q.terminal = make([][]bool, maxAnswers+1)
+	for x := 0; x <= maxAnswers; x++ {
+		q.terminal[x] = make([]bool, maxAnswers+1)
+		for y := 0; x+y <= maxAnswers; y++ {
+			q.terminal[x][y] = terminal(x, y)
+		}
+	}
+	// Every deepest point must terminate or the worst case is undefined.
+	for x := 0; x <= maxAnswers; x++ {
+		if !q.terminal[x][maxAnswers-x] {
+			return QualityStrategy{}, fmt.Errorf("core: point (%d, %d) at the depth limit does not terminate", x, maxAnswers-x)
+		}
+	}
+	return q, nil
+}
+
+// IsTerminal reports whether (x, y) is a decision point. Points outside the
+// strategy's reach are treated as terminal.
+func (q QualityStrategy) IsTerminal(x, y int) bool {
+	if x < 0 || y < 0 || x+y > q.MaxAnswers {
+		return true
+	}
+	return q.terminal[x][y]
+}
+
+// WorstCaseAdditional returns the maximum number of further answers a task
+// at point (x, y) can require before the strategy terminates — the
+// conservative load measure of the paper's second approximation technique.
+func (q QualityStrategy) WorstCaseAdditional(x, y int) int {
+	if q.IsTerminal(x, y) {
+		return 0
+	}
+	// One more answer leads to (x+1, y) or (x, y+1); worst case is the max.
+	a := q.WorstCaseAdditional(x+1, y)
+	b := q.WorstCaseAdditional(x, y+1)
+	if b > a {
+		a = b
+	}
+	return 1 + a
+}
+
+// QualityPricingPlan couples a deadline pricing policy with a quality
+// strategy using the paper's approximation: plan prices for
+// N' = N·WorstCaseAdditional(0,0) unit questions and, while running, track
+// the current total worst-case question load to index the policy.
+type QualityPricingPlan struct {
+	Policy   *DeadlinePolicy
+	Strategy QualityStrategy
+	// PerTaskWorstCase is WorstCaseAdditional(0, 0).
+	PerTaskWorstCase int
+}
+
+// PlanWithQuality builds the pricing plan: it scales the base problem's task
+// count by the strategy's worst-case question load and solves the deadline
+// DP on the inflated count. base.N must be the number of filtering tasks.
+func PlanWithQuality(base *DeadlineProblem, q QualityStrategy) (*QualityPricingPlan, error) {
+	if err := base.Validate(); err != nil {
+		return nil, err
+	}
+	w := q.WorstCaseAdditional(0, 0)
+	if w <= 0 {
+		return nil, errors.New("core: quality strategy terminates immediately")
+	}
+	scaled := *base
+	scaled.Lambdas = append([]float64(nil), base.Lambdas...)
+	scaled.N = base.N * w
+	pol, err := scaled.SolveEfficient()
+	if err != nil {
+		return nil, err
+	}
+	return &QualityPricingPlan{Policy: pol, Strategy: q, PerTaskWorstCase: w}, nil
+}
+
+// TaskPoint is the quality-control progress of one task.
+type TaskPoint struct{ X, Y int }
+
+// Load returns N', the total worst-case remaining question count across the
+// live tasks — the state coordinate the pricing policy is indexed by.
+func (p *QualityPricingPlan) Load(tasks []TaskPoint) int {
+	total := 0
+	for _, tp := range tasks {
+		total += p.Strategy.WorstCaseAdditional(tp.X, tp.Y)
+	}
+	return total
+}
+
+// PriceAt returns the per-question price to post at interval t given the
+// live tasks' progress.
+func (p *QualityPricingPlan) PriceAt(tasks []TaskPoint, t int) int {
+	return p.Policy.PriceAt(p.Load(tasks), t)
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"crowdpricing/internal/choice"
+)
+
+// policyJSON is the wire form of a solved deadline policy. Only the
+// parametric Logistic acceptance curve serializes; policies built over
+// custom AcceptanceFn implementations must be re-solved on load.
+type policyJSON struct {
+	N         int         `json:"n"`
+	Horizon   float64     `json:"horizon_hours"`
+	Intervals int         `json:"intervals"`
+	Lambdas   []float64   `json:"lambdas"`
+	Accept    acceptJSON  `json:"accept"`
+	MinPrice  int         `json:"min_price"`
+	MaxPrice  int         `json:"max_price"`
+	Penalty   float64     `json:"penalty"`
+	Alpha     float64     `json:"alpha"`
+	TruncEps  float64     `json:"trunc_eps"`
+	Price     [][]int     `json:"price"`
+	Opt       [][]float64 `json:"opt"`
+}
+
+type acceptJSON struct {
+	S float64 `json:"s"`
+	B float64 `json:"b"`
+	M float64 `json:"m"`
+}
+
+// MarshalJSON serializes the policy, including its problem parameters and
+// value function, so a solved plan can be stored and reloaded without
+// re-running the DP. It fails if the acceptance curve is not a
+// choice.Logistic.
+func (pol *DeadlinePolicy) MarshalJSON() ([]byte, error) {
+	if pol.Problem == nil {
+		return nil, errors.New("core: policy has no problem")
+	}
+	l, ok := pol.Problem.Accept.(choice.Logistic)
+	if !ok {
+		return nil, fmt.Errorf("core: acceptance curve %T is not serializable", pol.Problem.Accept)
+	}
+	return json.Marshal(policyJSON{
+		N:         pol.Problem.N,
+		Horizon:   pol.Problem.Horizon,
+		Intervals: pol.Problem.Intervals,
+		Lambdas:   pol.Problem.Lambdas,
+		Accept:    acceptJSON{S: l.S, B: l.B, M: l.M},
+		MinPrice:  pol.Problem.MinPrice,
+		MaxPrice:  pol.Problem.MaxPrice,
+		Penalty:   pol.Problem.Penalty,
+		Alpha:     pol.Problem.Alpha,
+		TruncEps:  pol.Problem.TruncEps,
+		Price:     pol.Price,
+		Opt:       pol.Opt,
+	})
+}
+
+// UnmarshalJSON restores a policy serialized by MarshalJSON, validating the
+// problem and the table dimensions.
+func (pol *DeadlinePolicy) UnmarshalJSON(data []byte) error {
+	var pj policyJSON
+	if err := json.Unmarshal(data, &pj); err != nil {
+		return err
+	}
+	p := &DeadlineProblem{
+		N:         pj.N,
+		Horizon:   pj.Horizon,
+		Intervals: pj.Intervals,
+		Lambdas:   pj.Lambdas,
+		Accept:    choice.Logistic{S: pj.Accept.S, B: pj.Accept.B, M: pj.Accept.M},
+		MinPrice:  pj.MinPrice,
+		MaxPrice:  pj.MaxPrice,
+		Penalty:   pj.Penalty,
+		Alpha:     pj.Alpha,
+		TruncEps:  pj.TruncEps,
+	}
+	if err := p.Validate(); err != nil {
+		return fmt.Errorf("core: stored policy problem invalid: %w", err)
+	}
+	if len(pj.Price) != p.Intervals || len(pj.Opt) != p.Intervals+1 {
+		return fmt.Errorf("core: stored tables have %d/%d rows, want %d/%d",
+			len(pj.Price), len(pj.Opt), p.Intervals, p.Intervals+1)
+	}
+	for t, row := range pj.Price {
+		if len(row) != p.N+1 {
+			return fmt.Errorf("core: price row %d has %d entries, want %d", t, len(row), p.N+1)
+		}
+		for n, c := range row {
+			if c < p.MinPrice || c > p.MaxPrice {
+				return fmt.Errorf("core: stored price %d at (%d,%d) outside [%d,%d]",
+					c, n, t, p.MinPrice, p.MaxPrice)
+			}
+		}
+	}
+	for t, row := range pj.Opt {
+		if len(row) != p.N+1 {
+			return fmt.Errorf("core: opt row %d has %d entries, want %d", t, len(row), p.N+1)
+		}
+	}
+	pol.Problem = p
+	pol.Price = pj.Price
+	pol.Opt = pj.Opt
+	return nil
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+func TestPolicyJSONRoundTrip(t *testing.T) {
+	p := testProblem(25, 9)
+	pol, err := p.SolveEfficient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back DeadlinePolicy
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	// Identical tables.
+	for tt := 0; tt < p.Intervals; tt++ {
+		for n := 0; n <= p.N; n++ {
+			if back.Price[tt][n] != pol.Price[tt][n] {
+				t.Fatalf("price changed at (%d,%d)", n, tt)
+			}
+		}
+	}
+	for tt := 0; tt <= p.Intervals; tt++ {
+		for n := 0; n <= p.N; n++ {
+			if back.Opt[tt][n] != pol.Opt[tt][n] {
+				t.Fatalf("opt changed at (%d,%d)", n, tt)
+			}
+		}
+	}
+	// The restored policy evaluates identically (the kernel rebuilds from
+	// the restored problem).
+	a, b := pol.Evaluate(), back.Evaluate()
+	if math.Abs(a.ExpectedCost-b.ExpectedCost) > 1e-9 {
+		t.Errorf("evaluation changed: %v vs %v", a.ExpectedCost, b.ExpectedCost)
+	}
+}
+
+func TestPolicyJSONRejectsCorrupted(t *testing.T) {
+	p := testProblem(10, 4)
+	pol, err := p.SolveEfficient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []func(*map[string]any){
+		func(m *map[string]any) { (*m)["intervals"] = 3 },                 // wrong table rows
+		func(m *map[string]any) { (*m)["n"] = 0 },                         // invalid problem
+		func(m *map[string]any) { (*m)["price"] = [][]int{{999}} },        // out-of-range price
+		func(m *map[string]any) { (*m)["opt"] = [][]float64{{1}, {2}} },   // wrong opt rows
+		func(m *map[string]any) { (*m)["lambdas"] = []float64{1, 2, -3} }, // bad lambda
+	}
+	for i, corrupt := range cases {
+		var m map[string]any
+		if err := json.Unmarshal(data, &m); err != nil {
+			t.Fatal(err)
+		}
+		corrupt(&m)
+		bad, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back DeadlinePolicy
+		if err := json.Unmarshal(bad, &back); err == nil {
+			t.Errorf("corruption %d accepted", i)
+		}
+	}
+}
+
+type opaqueAccept struct{}
+
+func (opaqueAccept) Accept(int) float64 { return 0.5 }
+
+func TestPolicyJSONRejectsOpaqueAcceptance(t *testing.T) {
+	p := testProblem(5, 3)
+	p.Accept = opaqueAccept{}
+	pol, err := p.SolveEfficient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := json.Marshal(pol); err == nil {
+		t.Error("want error for non-serializable acceptance function")
+	}
+}

@@ -1,0 +1,393 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"crowdpricing/internal/choice"
+	"crowdpricing/internal/core"
+	"crowdpricing/internal/dist"
+	"crowdpricing/internal/rate"
+	"crowdpricing/internal/sim"
+)
+
+// Figure7aResult compares the dynamic strategy against fixed prices: for a
+// range of completion targets, the average task reward each needs.
+type Figure7aResult struct {
+	// C0 is the theoretical lower bound on the average reward.
+	C0 int
+	// Dynamic has one point per remaining-task bound.
+	Dynamic []Figure7aPoint
+	// Fixed has one point per candidate fixed price.
+	Fixed []Figure7aPoint
+	// DynamicAvgReward999 is the dynamic strategy's average reward when
+	// calibrated to finish everything with 99.9% probability — the paper's
+	// "12 to 12.5, only 3% overhead over c0" headline.
+	DynamicAvgReward999 float64
+	// FixedPrice999 is the fixed price needed for the same guarantee — the
+	// paper's "16, a 33% increase" headline.
+	FixedPrice999 int
+}
+
+// Figure7aPoint pairs an expected number of remaining tasks with the average
+// per-task reward that achieves it.
+type Figure7aPoint struct {
+	ExpectedRemaining float64
+	AvgReward         float64
+}
+
+// Figure7a regenerates Figure 7(a): average task reward versus the expected
+// number of tasks left at the deadline, dynamic versus fixed.
+func Figure7a(w *Workload) (Figure7aResult, error) {
+	p := w.DefaultDeadlineProblem()
+	res := Figure7aResult{}
+	c0, err := p.TheoreticalMinPrice()
+	if err != nil {
+		return res, err
+	}
+	res.C0 = c0
+	for _, bound := range []float64{10, 3, 1, 0.3, 0.1, 0.03} {
+		cal, err := p.CalibratePenaltyForBound(bound, 1e5, 18)
+		if err != nil {
+			return res, err
+		}
+		res.Dynamic = append(res.Dynamic, Figure7aPoint{
+			ExpectedRemaining: cal.Outcome.ExpectedRemaining,
+			AvgReward:         cal.Outcome.AvgReward,
+		})
+	}
+	for price := c0 - 1; price <= c0+4; price++ {
+		out := p.EvaluateFixed(price)
+		res.Fixed = append(res.Fixed, Figure7aPoint{
+			ExpectedRemaining: out.ExpectedRemaining,
+			AvgReward:         float64(price),
+		})
+	}
+	calConf, err := p.CalibratePenaltyForConfidence(DefaultConfidence, 1e6, 18)
+	if err != nil {
+		return res, err
+	}
+	res.DynamicAvgReward999 = calConf.Outcome.AvgReward
+	fixedConf, err := p.FixedPriceForConfidence(DefaultConfidence)
+	if err != nil {
+		return res, err
+	}
+	res.FixedPrice999 = fixedConf.Price
+	return res, nil
+}
+
+// PrintFigure7a writes both curves.
+func PrintFigure7a(w io.Writer, res Figure7aResult) {
+	fmt.Fprintf(w, "Figure 7(a): avg task reward vs expected remaining tasks (c0=%d)\n", res.C0)
+	fmt.Fprintln(w, "dynamic:  E[remaining]  avg-reward")
+	for _, p := range res.Dynamic {
+		fmt.Fprintf(w, "          %-13.4f %-10.3f\n", p.ExpectedRemaining, p.AvgReward)
+	}
+	fmt.Fprintln(w, "fixed:    E[remaining]  price")
+	for _, p := range res.Fixed {
+		fmt.Fprintf(w, "          %-13.4f %-10.0f\n", p.ExpectedRemaining, p.AvgReward)
+	}
+	fmt.Fprintf(w, "99.9%% guarantee: dynamic avg reward %.2f vs fixed price %d (+%.0f%%)\n",
+		res.DynamicAvgReward999, res.FixedPrice999,
+		(float64(res.FixedPrice999)-res.DynamicAvgReward999)/res.DynamicAvgReward999*100)
+}
+
+// ReductionCell is one cell of the cost-reduction sweeps (Figures 7b, 8a–c):
+// the varied parameter value and the percentage cost reduction
+// r = (c_fixed − c_dynamic)/c_fixed at the default 99.9% completion
+// confidence.
+type ReductionCell struct {
+	Label     string
+	Value     float64
+	Reduction float64
+	// FixedCost and DynamicCost are the underlying expected totals (cents).
+	FixedCost, DynamicCost float64
+}
+
+// costReduction computes r for one problem instance.
+func costReduction(p *core.DeadlineProblem) (ReductionCell, error) {
+	fixed, err := p.FixedPriceForConfidence(DefaultConfidence)
+	if err != nil {
+		return ReductionCell{}, err
+	}
+	cal, err := p.CalibratePenaltyForConfidence(DefaultConfidence, 1e6, 16)
+	if err != nil {
+		return ReductionCell{}, err
+	}
+	fc := fixed.ExpectedCost
+	dc := cal.Outcome.ExpectedCost
+	return ReductionCell{Reduction: (fc - dc) / fc * 100, FixedCost: fc, DynamicCost: dc}, nil
+}
+
+// Figure7b sweeps the batch size N and the deadline T and reports the
+// percentage cost reduction for each combination. The sweep stays in the
+// regime where prices are meaningfully above the 1-cent marketplace floor:
+// with Equation 13's p(0) > 0, very small batches over very long horizons
+// complete at near-zero prices under *any* strategy, which says nothing
+// about the pricing algorithms.
+func Figure7b(w *Workload) ([]ReductionCell, error) {
+	var cells []ReductionCell
+	for _, n := range []int{100, 200, 400} {
+		for _, hours := range []float64{6, 12, 24} {
+			p := w.DeadlineProblem(n, hours, DefaultIntervalMinutes)
+			cell, err := costReduction(p)
+			if err != nil {
+				return nil, fmt.Errorf("N=%d T=%v: %w", n, hours, err)
+			}
+			cell.Label = fmt.Sprintf("N=%d,T=%.0fh", n, hours)
+			cell.Value = float64(n)*1000 + hours
+			cells = append(cells, cell)
+		}
+	}
+	return cells, nil
+}
+
+// Figure8abc sweeps the acceptance-curve parameters s, b, and M one at a
+// time around the Equation-13 defaults and reports the cost reduction.
+func Figure8abc(w *Workload) (sCells, bCells, mCells []ReductionCell, err error) {
+	base := w.Accept
+	runWith := func(label string, value float64, accept choice.Logistic) (ReductionCell, error) {
+		p := w.DefaultDeadlineProblem()
+		p.Accept = accept
+		cell, err := costReduction(p)
+		if err != nil {
+			return cell, fmt.Errorf("%s=%v: %w", label, value, err)
+		}
+		cell.Label = fmt.Sprintf("%s=%v", label, value)
+		cell.Value = value
+		return cell, nil
+	}
+	for _, s := range []float64{5, 10, 15, 20, 25, 30} {
+		cell, err := runWith("s", s, choice.Logistic{S: s, B: base.B, M: base.M})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		sCells = append(sCells, cell)
+	}
+	// Sweeps stay above the free-completion regime (a very attractive task
+	// or near-empty market finishes at price 0 under any strategy).
+	for _, b := range []float64{-1.1, -0.75, -0.39, 0.1, 0.6} {
+		cell, err := runWith("b", b, choice.Logistic{S: base.S, B: b, M: base.M})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		bCells = append(bCells, cell)
+	}
+	for _, m := range []float64{1000, 1500, 2000, 4000, 8000} {
+		cell, err := runWith("M", m, choice.Logistic{S: base.S, B: base.B, M: m})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		mCells = append(mCells, cell)
+	}
+	return sCells, bCells, mCells, nil
+}
+
+// PrintReductionCells writes one sweep.
+func PrintReductionCells(w io.Writer, title string, cells []ReductionCell) {
+	fmt.Fprintln(w, title)
+	fmt.Fprintln(w, "setting          reduction%  fixed(cents)  dynamic(cents)")
+	for _, c := range cells {
+		fmt.Fprintf(w, "%-16s %-11.2f %-13.1f %-14.1f\n", c.Label, c.Reduction, c.FixedCost, c.DynamicCost)
+	}
+}
+
+// Figure8dRow is one granularity setting of Figure 8(d): the interval
+// length, the achieved average task price, and the measured training time.
+type Figure8dRow struct {
+	IntervalMinutes int
+	AvgReward       float64
+	TrainTime       time.Duration
+}
+
+// Figure8d sweeps the DP training granularity.
+func Figure8d(w *Workload) ([]Figure8dRow, error) {
+	var rows []Figure8dRow
+	for _, minutes := range []int{20, 30, 40, 60, 80, 120} {
+		p := w.DeadlineProblem(DefaultN, DefaultHorizonHours, minutes)
+		start := time.Now()
+		cal, err := p.CalibratePenaltyForConfidence(DefaultConfidence, 1e6, 16)
+		if err != nil {
+			return nil, fmt.Errorf("granularity %dmin: %w", minutes, err)
+		}
+		rows = append(rows, Figure8dRow{
+			IntervalMinutes: minutes,
+			AvgReward:       cal.Outcome.AvgReward,
+			TrainTime:       time.Since(start),
+		})
+	}
+	return rows, nil
+}
+
+// PrintFigure8d writes the granularity sweep.
+func PrintFigure8d(w io.Writer, rows []Figure8dRow) {
+	fmt.Fprintln(w, "Figure 8(d): granularity of time interval")
+	fmt.Fprintln(w, "interval(min)  avg-reward  train-time")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14d %-11.3f %v\n", r.IntervalMinutes, r.AvgReward, r.TrainTime.Round(time.Millisecond))
+	}
+}
+
+// Figure9Row is one misestimation setting: the true parameter value, the
+// dynamic strategy's Monte-Carlo remaining tasks and average reward, and the
+// fixed strategies' remaining tasks for prices around c0.
+type Figure9Row struct {
+	Param          string
+	TrueValue      float64
+	DynRemaining   float64
+	DynAvgReward   float64
+	FixedRemaining map[int]float64
+}
+
+// Figure9 reproduces the parameter-sensitivity study: policies are trained
+// on the default Equation-13 curve but the world runs a perturbed curve.
+func Figure9(w *Workload, trials int, seed int64) ([]Figure9Row, error) {
+	p := w.DefaultDeadlineProblem()
+	cal, err := p.CalibratePenaltyForConfidence(DefaultConfidence, 1e6, 16)
+	if err != nil {
+		return nil, err
+	}
+	fixedPrices := []int{12, 13, 14, 15, 16}
+	r := dist.NewRNG(seed)
+	var rows []Figure9Row
+	addRow := func(param string, value float64, truth choice.Logistic) error {
+		world := sim.World{Lambdas: p.Lambdas, Accept: truth}
+		dyn, err := sim.RunDeadlinePolicy(cal.Policy, world, trials, r)
+		if err != nil {
+			return err
+		}
+		row := Figure9Row{
+			Param: param, TrueValue: value,
+			DynRemaining: dyn.MeanRemaining, DynAvgReward: dyn.MeanAvgReward,
+			FixedRemaining: map[int]float64{},
+		}
+		for _, price := range fixedPrices {
+			fx, err := sim.RunFixedPrice(p, price, world, trials, r)
+			if err != nil {
+				return err
+			}
+			row.FixedRemaining[price] = fx.MeanRemaining
+		}
+		rows = append(rows, row)
+		return nil
+	}
+	base := w.Accept
+	for _, s := range []float64{10, 12.5, 15, 17.5, 20} {
+		if err := addRow("s", s, choice.Logistic{S: s, B: base.B, M: base.M}); err != nil {
+			return nil, err
+		}
+	}
+	for _, b := range []float64{-0.8, -0.6, -0.39, -0.2, 0} {
+		if err := addRow("b", b, choice.Logistic{S: base.S, B: b, M: base.M}); err != nil {
+			return nil, err
+		}
+	}
+	for _, m := range []float64{1000, 1500, 2000, 3000, 4000} {
+		if err := addRow("M", m, choice.Logistic{S: base.S, B: base.B, M: m}); err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}
+
+// PrintFigure9 writes the sensitivity table.
+func PrintFigure9(w io.Writer, rows []Figure9Row) {
+	fmt.Fprintln(w, "Figure 9: sensitivity to task-acceptance parameter estimation")
+	fmt.Fprintln(w, "param  true-value  dyn-remaining  dyn-avg-reward  fixed12  fixed13  fixed14  fixed15  fixed16")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-6s %-11.2f %-14.4f %-15.3f %-8.2f %-8.2f %-8.2f %-8.2f %-8.2f\n",
+			r.Param, r.TrueValue, r.DynRemaining, r.DynAvgReward,
+			r.FixedRemaining[12], r.FixedRemaining[13], r.FixedRemaining[14],
+			r.FixedRemaining[15], r.FixedRemaining[16])
+	}
+}
+
+// Figure10Row is one test day of the arrival-rate sensitivity study.
+type Figure10Row struct {
+	// Day is the 0-based trace day (0 = Jan 1).
+	Day int
+	// DynRemaining / DynAvgReward are the dynamic strategy's Monte Carlo
+	// outcomes when trained on the other three days.
+	DynRemaining float64
+	DynAvgReward float64
+	// FixedRemaining is the fixed baseline's remaining tasks at its own
+	// calibrated price.
+	FixedRemaining float64
+	FixedPrice     int
+	// TrainRate and ActualRate are hourly arrival series for plots (c)/(d).
+	TrainRate, ActualRate []float64
+}
+
+// Figure10 reproduces the Section 5.2.5 cross-validation: for each of the
+// four Wednesdays, train the policy on the average of the other three and
+// evaluate on the actual day.
+func Figure10(w *Workload, trials int, seed int64) ([]Figure10Row, error) {
+	days := []int{0, 7, 14, 21} // Jan 1, 8, 15, 22
+	r := dist.NewRNG(seed)
+	var rows []Figure10Row
+	for _, day := range days {
+		var others []int
+		for _, d := range days {
+			if d != day {
+				others = append(others, d)
+			}
+		}
+		trainRate := averageWindowRate(w, others)
+		p := w.DeadlineProblem(DefaultN, DefaultHorizonHours, DefaultIntervalMinutes)
+		p.Lambdas = rate.IntervalMeans(trainRate, DefaultHorizonHours, p.Intervals)
+		cal, err := p.CalibratePenaltyForConfidence(DefaultConfidence, 1e6, 16)
+		if err != nil {
+			return nil, fmt.Errorf("day %d: %w", day, err)
+		}
+		fixed, err := p.FixedPriceForConfidence(DefaultConfidence)
+		if err != nil {
+			return nil, fmt.Errorf("day %d fixed: %w", day, err)
+		}
+		actual := windowRate(w.Trace, day, DefaultHorizonHours)
+		world := sim.World{
+			Lambdas: rate.IntervalMeans(actual, DefaultHorizonHours, p.Intervals),
+			Accept:  w.Accept,
+		}
+		dyn, err := sim.RunDeadlinePolicy(cal.Policy, world, trials, r)
+		if err != nil {
+			return nil, err
+		}
+		fx, err := sim.RunFixedPrice(p, fixed.Price, world, trials, r)
+		if err != nil {
+			return nil, err
+		}
+		row := Figure10Row{
+			Day:            day,
+			DynRemaining:   dyn.MeanRemaining,
+			DynAvgReward:   dyn.MeanAvgReward,
+			FixedRemaining: fx.MeanRemaining,
+			FixedPrice:     fixed.Price,
+		}
+		for h := 0; h < int(DefaultHorizonHours); h++ {
+			row.TrainRate = append(row.TrainRate, trainRate.Integral(float64(h), float64(h+1)))
+			row.ActualRate = append(row.ActualRate, actual.Integral(float64(h), float64(h+1)))
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PrintFigure10 writes the per-day outcomes and the holiday anomaly series.
+func PrintFigure10(w io.Writer, rows []Figure10Row) {
+	fmt.Fprintln(w, "Figure 10: sensitivity to arrival-rate prediction (4 test days)")
+	fmt.Fprintln(w, "day(Jan)  dyn-remaining  dyn-avg-reward  fixed-price  fixed-remaining")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-9d %-14.4f %-15.3f %-12d %-15.4f\n",
+			r.Day+1, r.DynRemaining, r.DynAvgReward, r.FixedPrice, r.FixedRemaining)
+	}
+	for _, r := range rows {
+		if r.Day != 0 && r.Day != 21 {
+			continue
+		}
+		fmt.Fprintf(w, "-- day Jan %d: hourly train vs actual arrivals --\n", r.Day+1)
+		for h := range r.TrainRate {
+			fmt.Fprintf(w, "h%02d train=%7.0f actual=%7.0f\n", h, r.TrainRate[h], r.ActualRate[h])
+		}
+	}
+}

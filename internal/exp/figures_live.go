@@ -1,0 +1,251 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"crowdpricing/internal/market"
+	"crowdpricing/internal/stats"
+)
+
+// LiveCurves holds the hourly completion curves of one trial.
+type LiveCurves struct {
+	Group int
+	// HITsByHour[h] is the cumulative number of HITs finished by hour h+1.
+	HITsByHour []int
+	// WorkByHour[h] is the cumulative fraction of total work finished.
+	WorkByHour []float64
+	CostCents  int
+	// CompletionHours is the batch finish time, +Inf if unfinished.
+	CompletionHours float64
+}
+
+// Figure12Result is the live-experiment reproduction: the five fixed trials
+// and the dynamic trial.
+type Figure12Result struct {
+	Fixed   []LiveCurves
+	Dynamic LiveCurves
+	// DynamicChoices records the bundle size chosen at each hour.
+	DynamicChoices []int
+}
+
+// Figure12 reruns the Section 5.4 experiments on the marketplace simulator:
+// five fixed bundle sizes, then the MDP-planned dynamic schedule using rates
+// estimated from the fixed trials.
+func Figure12(seed int64) (Figure12Result, error) {
+	cfg := market.PaperLiveConfig(market.PaperArrival())
+	res := Figure12Result{}
+	fixedResults := map[int]*market.Result{}
+	for i, g := range market.PaperGroupSizes {
+		out, err := market.RunFixed(cfg, g, seed+int64(i))
+		if err != nil {
+			return res, err
+		}
+		fixedResults[g] = out
+		res.Fixed = append(res.Fixed, curvesFrom(cfg, out, g))
+	}
+	rates, err := market.EstimateGroupRates(cfg, fixedResults)
+	if err != nil {
+		return res, err
+	}
+	choose, err := market.PlanGroupSizes(cfg, rates, 10, 500)
+	if err != nil {
+		return res, err
+	}
+	choices := make([]int, int(cfg.Horizon))
+	logged := func(remaining, hour int) int {
+		g := choose(remaining, hour)
+		if hour >= 0 && hour < len(choices) {
+			choices[hour] = g
+		}
+		return g
+	}
+	dyn, err := market.RunDynamic(cfg, logged, seed+100)
+	if err != nil {
+		return res, err
+	}
+	res.Dynamic = curvesFrom(cfg, dyn, 0)
+	res.DynamicChoices = choices
+	return res, nil
+}
+
+func curvesFrom(cfg market.Config, r *market.Result, g int) LiveCurves {
+	hours := int(cfg.Horizon)
+	lc := LiveCurves{Group: g, CostCents: r.CostCents, CompletionHours: r.CompletionTime}
+	for h := 1; h <= hours; h++ {
+		lc.HITsByHour = append(lc.HITsByHour, r.CompletedHITsBy(float64(h)))
+		lc.WorkByHour = append(lc.WorkByHour, float64(r.CompletedTasksBy(float64(h)))/float64(cfg.TotalTasks))
+	}
+	return lc
+}
+
+// PrintFigure12 writes the three panels of Figure 12.
+func PrintFigure12(w io.Writer, res Figure12Result) {
+	fmt.Fprintln(w, "Figure 12(a): HITs completed by hour (fixed bundle sizes)")
+	fmt.Fprint(w, "hour ")
+	for _, f := range res.Fixed {
+		fmt.Fprintf(w, " g=%-5d", f.Group)
+	}
+	fmt.Fprintln(w)
+	for h := 0; h < len(res.Fixed[0].HITsByHour); h++ {
+		fmt.Fprintf(w, "%4d ", h+1)
+		for _, f := range res.Fixed {
+			fmt.Fprintf(w, " %-7d", f.HITsByHour[h])
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "Figure 12(b): % work completed by hour (fixed bundle sizes)")
+	for h := 0; h < len(res.Fixed[0].WorkByHour); h++ {
+		fmt.Fprintf(w, "%4d ", h+1)
+		for _, f := range res.Fixed {
+			fmt.Fprintf(w, " %-7.3f", f.WorkByHour[h])
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "Figure 12(c): % work completed by hour (dynamic)")
+	for h, v := range res.Dynamic.WorkByHour {
+		fmt.Fprintf(w, "%4d  %-7.3f (g=%d)\n", h+1, v, res.DynamicChoices[minInt(h, len(res.DynamicChoices)-1)])
+	}
+	fmt.Fprintf(w, "dynamic cost: %d cents; fixed costs:", res.Dynamic.CostCents)
+	for _, f := range res.Fixed {
+		fmt.Fprintf(w, " g%d=%dc", f.Group, f.CostCents)
+	}
+	fmt.Fprintln(w)
+}
+
+// AccuracyResult is the Figures 13/14 + Tables 3/4 data: per-HIT accuracy
+// distributions and their means per bundle size (fixed) and for the dynamic
+// trial's dominant sizes.
+type AccuracyResult struct {
+	// FixedECDF maps bundle size to the sorted per-HIT accuracy sample.
+	FixedECDF map[int][]float64
+	// FixedMean maps bundle size to the average accuracy (Table 3).
+	FixedMean map[int]float64
+	// DynamicECDF maps bundle size (of HITs inside the dynamic trial) to
+	// accuracy samples; only sizes with enough HITs are included.
+	DynamicECDF map[int][]float64
+	// DynamicMean maps those sizes to average accuracy (Table 4).
+	DynamicMean map[int]float64
+}
+
+// Figure1314 reruns the accuracy analysis of Section 5.4.3.
+func Figure1314(seed int64) (AccuracyResult, error) {
+	cfg := market.PaperLiveConfig(market.PaperArrival())
+	res := AccuracyResult{
+		FixedECDF: map[int][]float64{}, FixedMean: map[int]float64{},
+		DynamicECDF: map[int][]float64{}, DynamicMean: map[int]float64{},
+	}
+	fixedResults := map[int]*market.Result{}
+	for i, g := range market.PaperGroupSizes {
+		out, err := market.RunFixed(cfg, g, seed+int64(i))
+		if err != nil {
+			return res, err
+		}
+		fixedResults[g] = out
+		acc := out.Accuracies()
+		sort.Float64s(acc)
+		res.FixedECDF[g] = acc
+		res.FixedMean[g] = stats.Mean(acc)
+	}
+	rates, err := market.EstimateGroupRates(cfg, fixedResults)
+	if err != nil {
+		return res, err
+	}
+	choose, err := market.PlanGroupSizes(cfg, rates, 10, 500)
+	if err != nil {
+		return res, err
+	}
+	dyn, err := market.RunDynamic(cfg, choose, seed+100)
+	if err != nil {
+		return res, err
+	}
+	byGroup := map[int][]float64{}
+	for _, h := range dyn.HITs {
+		byGroup[h.Group] = append(byGroup[h.Group], h.Accuracy())
+	}
+	for g, acc := range byGroup {
+		if len(acc) < 10 {
+			continue // the paper plots only the sizes the policy actually used
+		}
+		sort.Float64s(acc)
+		res.DynamicECDF[g] = acc
+		res.DynamicMean[g] = stats.Mean(acc)
+	}
+	return res, nil
+}
+
+// PrintFigure1314 writes the accuracy tables and decile CDFs.
+func PrintFigure1314(w io.Writer, res AccuracyResult) {
+	fmt.Fprintln(w, "Table 3: average accuracy per bundle size (fixed trials)")
+	for _, g := range market.PaperGroupSizes {
+		fmt.Fprintf(w, "g=%d: %.1f%%\n", g, res.FixedMean[g]*100)
+	}
+	fmt.Fprintln(w, "Table 4: average accuracy in the dynamic trial")
+	var gs []int
+	for g := range res.DynamicMean {
+		gs = append(gs, g)
+	}
+	sort.Ints(gs)
+	for _, g := range gs {
+		fmt.Fprintf(w, "g=%d: %.1f%% (%d HITs)\n", g, res.DynamicMean[g]*100, len(res.DynamicECDF[g]))
+	}
+	fmt.Fprintln(w, "Figure 13: accuracy CDF deciles per bundle size (fixed)")
+	for _, g := range market.PaperGroupSizes {
+		fmt.Fprintf(w, "g=%d:", g)
+		printDeciles(w, res.FixedECDF[g])
+	}
+	fmt.Fprintln(w, "Figure 14: accuracy CDF deciles (dynamic)")
+	for _, g := range gs {
+		fmt.Fprintf(w, "g=%d:", g)
+		printDeciles(w, res.DynamicECDF[g])
+	}
+}
+
+func printDeciles(w io.Writer, sorted []float64) {
+	if len(sorted) == 0 {
+		fmt.Fprintln(w, " (no data)")
+		return
+	}
+	for q := 1; q <= 9; q++ {
+		idx := q * (len(sorted) - 1) / 10
+		fmt.Fprintf(w, " %.2f", sorted[idx])
+	}
+	fmt.Fprintln(w)
+}
+
+// Figure15Row pairs a bundle size with the average HITs per worker.
+type Figure15Row struct {
+	Group         int
+	HITsPerWorker float64
+}
+
+// Figure15 reruns the worker-retention analysis.
+func Figure15(seed int64) ([]Figure15Row, error) {
+	cfg := market.PaperLiveConfig(market.PaperArrival())
+	var rows []Figure15Row
+	for i, g := range market.PaperGroupSizes {
+		out, err := market.RunFixed(cfg, g, seed+int64(i))
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Figure15Row{Group: g, HITsPerWorker: out.HITsPerWorker()})
+	}
+	return rows, nil
+}
+
+// PrintFigure15 writes the retention rows.
+func PrintFigure15(w io.Writer, rows []Figure15Row) {
+	fmt.Fprintln(w, "Figure 15: average HITs completed per worker")
+	fmt.Fprintln(w, "bundle  unit-price($)  HITs/worker")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-7d %-14.5f %-11.2f\n", r.Group, 0.02/float64(r.Group), r.HITsPerWorker)
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

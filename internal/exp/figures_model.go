@@ -1,0 +1,125 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"crowdpricing/internal/choice"
+	"crowdpricing/internal/dist"
+	"crowdpricing/internal/trace"
+)
+
+// Figure1Series is the Figure 1 data: tasks completed per 6-hour window over
+// the 4-week trace.
+type Figure1Series struct {
+	// Counts[i] is the completions in window i (6 hours each).
+	Counts []int
+}
+
+// Figure1 regenerates the Figure 1 series from the synthetic trace.
+func Figure1() Figure1Series {
+	tr := trace.Generate(trace.DefaultConfig())
+	return Figure1Series{Counts: tr.SixHourSeries()}
+}
+
+// PrintFigure1 writes one row per day (four 6-hour windows).
+func PrintFigure1(w io.Writer, s Figure1Series) {
+	fmt.Fprintln(w, "Figure 1: worker activity per 6h window, 1/1/2014-1/28/2014")
+	for d := 0; d*4 < len(s.Counts); d++ {
+		fmt.Fprintf(w, "day %2d:", d+1)
+		for k := 0; k < 4 && d*4+k < len(s.Counts); k++ {
+			fmt.Fprintf(w, " %7d", s.Counts[d*4+k])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Figure5Point is one point of Figure 5: a reward, the utility-simulation
+// acceptance probability, and the fitted logit curve's value.
+type Figure5Point struct {
+	Reward    int
+	Simulated float64
+	Fitted    float64
+}
+
+// Figure5Result is the Figure 5 data with the fitted β.
+type Figure5Result struct {
+	Points []Figure5Point
+	Beta   float64
+}
+
+// Figure5 reruns the Section 5.1.1 utility-based simulation and fits the
+// Equation-2 logit curve to it.
+func Figure5(seed int64) Figure5Result {
+	r := dist.NewRNG(seed)
+	cfg := choice.DefaultUtilitySim()
+	// Regenerate the competitor landscape with recorded utilities so the
+	// regression has access to z_i = μ_i like the paper's fit.
+	mus := make([]float64, cfg.NumTasks-1)
+	for i := range mus {
+		mus[i] = r.NormFloat64()
+	}
+	var rewards []int
+	for c := 0; c <= 100; c += 5 {
+		rewards = append(rewards, c)
+	}
+	probs := choice.SimulateAcceptance(cfg, rewards, r)
+	beta := choice.FitBeta(cfg.RewardToUtility, mus, rewards, probs)
+	var z float64
+	for _, u := range mus {
+		z += math.Exp(beta * u)
+	}
+	res := Figure5Result{Beta: beta}
+	for i, c := range rewards {
+		e := math.Exp(beta * cfg.RewardToUtility(c))
+		res.Points = append(res.Points, Figure5Point{
+			Reward:    c,
+			Simulated: probs[i],
+			Fitted:    e / (e + z),
+		})
+	}
+	return res
+}
+
+// PrintFigure5 writes the simulated and fitted acceptance curves.
+func PrintFigure5(w io.Writer, res Figure5Result) {
+	fmt.Fprintf(w, "Figure 5: utility-simulated acceptance vs logit fit (beta=%.2f)\n", res.Beta)
+	fmt.Fprintln(w, "reward  simulated  fitted")
+	for _, p := range res.Points {
+		fmt.Fprintf(w, "%-7d %-10.4f %-10.4f\n", p.Reward, p.Simulated, p.Fitted)
+	}
+}
+
+// Figure6Point is one task group in the Figure 6 scatter.
+type Figure6Point struct {
+	Type            trace.TaskType
+	WagePerSec      float64
+	WorkloadPerHour float64
+}
+
+// Figure6 regenerates the Figure 6 scatter of wage/sec against
+// workload/hour for the two dominant task types.
+func Figure6(seed int64) []Figure6Point {
+	r := dist.NewRNG(seed)
+	groups := trace.GenerateTaskGroups(trace.PaperGroupModel(), 50, r)
+	out := make([]Figure6Point, len(groups))
+	for i, g := range groups {
+		out[i] = Figure6Point{Type: g.Type, WagePerSec: g.WagePerSec, WorkloadPerHour: g.WorkloadPerHour}
+	}
+	return out
+}
+
+// PrintFigure6 writes the scatter points grouped by type.
+func PrintFigure6(w io.Writer, pts []Figure6Point) {
+	fmt.Fprintln(w, "Figure 6: wage per second vs completed workload per hour")
+	for _, tt := range []trace.TaskType{trace.Categorization, trace.DataCollection} {
+		fmt.Fprintf(w, "-- %s --\n", tt)
+		fmt.Fprintln(w, "wage($/sec)  workload(sec/h)")
+		for _, p := range pts {
+			if p.Type == tt {
+				fmt.Fprintf(w, "%-12.6f %-14.1f\n", p.WagePerSec, p.WorkloadPerHour)
+			}
+		}
+	}
+}

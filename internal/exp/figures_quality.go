@@ -1,0 +1,124 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"crowdpricing/internal/core"
+	"crowdpricing/internal/filter"
+)
+
+// QualityRow summarizes one quality-control configuration priced under the
+// Section 6 integration: the filtering strategy's statistics and the
+// resulting pricing plan for a batch of filtering tasks.
+type QualityRow struct {
+	// Label names the quality strategy.
+	Label string
+	// ExpQuestions / ExpError are the per-task strategy statistics under
+	// the worker model.
+	ExpQuestions, ExpError float64
+	// WorstCase is the per-task question bound the pricing plan uses.
+	WorstCase int
+	// PlannedQuestions is N × WorstCase, the inflated DP batch size.
+	PlannedQuestions int
+	// ExpectedCost is the pricing plan's expected payment (cents) for the
+	// inflated question batch.
+	ExpectedCost float64
+}
+
+// QualityExtension prices a 100-item filtering batch (24h deadline) under
+// three quality regimes: a 3-vote majority, a 5-vote majority, and a
+// synthesized CrowdScreen-style strategy at 5% expected error. It shows the
+// conservative worst-case inflation the paper's second approximation
+// technique trades for tractability.
+func QualityExtension(w *Workload) ([]QualityRow, error) {
+	base := w.DeadlineProblem(100, DefaultHorizonHours, 60)
+	model := filter.Model{Accuracy: 0.8, Prior: 0.5}
+
+	type namedStrategy struct {
+		label string
+		maxQ  int
+		strat core.QualityStrategy
+	}
+	var strategies []namedStrategy
+	for _, k := range []int{3, 5} {
+		mv, err := core.MajorityVote(k)
+		if err != nil {
+			return nil, err
+		}
+		strategies = append(strategies, namedStrategy{
+			label: fmt.Sprintf("majority-%d", k), maxQ: k, strat: mv,
+		})
+	}
+	syn, err := filter.Synthesize(model, 11, 0.05)
+	if err != nil {
+		return nil, err
+	}
+	adapted, err := core.NewQualityStrategy(syn.MaxQuestions, syn.IsTerminal)
+	if err != nil {
+		return nil, err
+	}
+	strategies = append(strategies, namedStrategy{
+		label: "synthesized-5%err", maxQ: syn.MaxQuestions, strat: adapted,
+	})
+
+	var rows []QualityRow
+	for _, ns := range strategies {
+		expQ, expE := gridStats(model, ns.maxQ, ns.strat.IsTerminal)
+		plan, err := core.PlanWithQuality(base, ns.strat)
+		if err != nil {
+			return nil, err
+		}
+		out := plan.Policy.Evaluate()
+		rows = append(rows, QualityRow{
+			Label:            ns.label,
+			ExpQuestions:     expQ,
+			ExpError:         expE,
+			WorstCase:        plan.PerTaskWorstCase,
+			PlannedQuestions: plan.Policy.Problem.N,
+			ExpectedCost:     out.ExpectedCost,
+		})
+	}
+	return rows, nil
+}
+
+// gridStats evaluates any terminal-grid strategy under the worker model:
+// terminal points decide by posterior majority; interior points ask. It
+// returns the expected questions per task and the expected error.
+func gridStats(m filter.Model, maxQ int, terminal func(x, y int) bool) (expQ, expErr float64) {
+	reach := map[[2]int]float64{{0, 0}: 1}
+	for total := 0; total <= maxQ; total++ {
+		for x := 0; x <= total; x++ {
+			y := total - x
+			p := reach[[2]int{x, y}]
+			if p == 0 {
+				continue
+			}
+			p1 := m.Posterior(x, y)
+			if terminal(x, y) {
+				// Posterior-majority decision: error is the minority mass.
+				if p1 >= 0.5 {
+					expErr += p * (1 - p1)
+				} else {
+					expErr += p * p1
+				}
+				continue
+			}
+			expQ += p
+			pYes := m.NextYesProb(x, y)
+			reach[[2]int{x, y + 1}] += p * pYes
+			reach[[2]int{x + 1, y}] += p * (1 - pYes)
+		}
+	}
+	return expQ, expErr
+}
+
+// PrintQualityExtension writes the comparison.
+func PrintQualityExtension(w io.Writer, rows []QualityRow) {
+	fmt.Fprintln(w, "Extension: quality-control integration (Section 6, approximation 2)")
+	fmt.Fprintln(w, "strategy            E[questions]  E[error]  worst-case  planned-Q  E[cost](c)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-19s %-13.2f %-9.4f %-11d %-10d %-10.1f\n",
+			r.Label, r.ExpQuestions, r.ExpError, r.WorstCase, r.PlannedQuestions, r.ExpectedCost)
+	}
+}

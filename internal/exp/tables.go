@@ -1,0 +1,76 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"crowdpricing/internal/dist"
+	"crowdpricing/internal/trace"
+)
+
+// Table1Row is one row of Table 1: the Poisson truncation cutoff s0 for a
+// threshold ε and mean λ.
+type Table1Row struct {
+	Eps    float64
+	Lambda float64
+	S0     int
+}
+
+// Table1 regenerates Table 1 (ε = 1e-9; λ = 10, 20, 50).
+func Table1() []Table1Row {
+	var rows []Table1Row
+	for _, lambda := range []float64{10, 20, 50} {
+		rows = append(rows, Table1Row{
+			Eps:    1e-9,
+			Lambda: lambda,
+			S0:     dist.Poisson{Lambda: lambda}.TruncationPoint(1e-9),
+		})
+	}
+	return rows
+}
+
+// PrintTable1 writes the rows in the paper's layout.
+func PrintTable1(w io.Writer, rows []Table1Row) {
+	fmt.Fprintln(w, "Table 1: Poisson truncation cutoffs s0")
+	fmt.Fprintln(w, "threshold  lambda  s0")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-9.0e  %-6.0f  %d\n", r.Eps, r.Lambda, r.S0)
+	}
+}
+
+// Table2Row is one row of Table 2: per task type, the fitted linear
+// coefficient of wage/sec and the bias term.
+type Table2Row struct {
+	Type   trace.TaskType
+	Alpha  float64
+	Bias   float64
+	Groups int
+}
+
+// Table2 regenerates Table 2 by synthesizing task-group snapshots and
+// re-fitting the wage → log-workload regression per type.
+func Table2(seed int64) []Table2Row {
+	r := dist.NewRNG(seed)
+	groups := trace.GenerateTaskGroups(trace.PaperGroupModel(), 50, r)
+	fit := trace.FitGroupModel(groups)
+	var rows []Table2Row
+	for _, tt := range []trace.TaskType{trace.Categorization, trace.DataCollection} {
+		n := 0
+		for _, g := range groups {
+			if g.Type == tt {
+				n++
+			}
+		}
+		rows = append(rows, Table2Row{Type: tt, Alpha: fit[tt].Alpha, Bias: fit[tt].Bias, Groups: n})
+	}
+	return rows
+}
+
+// PrintTable2 writes the rows in the paper's layout.
+func PrintTable2(w io.Writer, rows []Table2Row) {
+	fmt.Fprintln(w, "Table 2: least-squares wage coefficients per task type")
+	fmt.Fprintln(w, "type             linear-coefficient  bias   groups")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-16s %-19.0f %-6.2f %d\n", r.Type, r.Alpha, r.Bias, r.Groups)
+	}
+}

@@ -1,0 +1,228 @@
+// Package filter synthesizes per-task quality-control strategies for binary
+// filtering tasks in the style of CrowdScreen (Parameswaran et al., SIGMOD
+// 2012) — the substrate the paper's Section 6 quality-control integration
+// builds on. A task accumulates No/Yes answers at a point (x, y); a strategy
+// assigns each point one of three decisions — ask another question, stop and
+// PASS, or stop and FAIL — so as to minimize the expected number of
+// questions subject to an expected-error budget.
+//
+// The synthesis follows the Lagrangian recipe: for a penalty μ on errors,
+// backward induction over the triangular grid computes the optimal decision
+// at every point; a binary search on μ then meets the error budget, which is
+// exactly the penalty ↔ bound correspondence the paper reuses for pricing
+// (Theorem 2).
+package filter
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Decision is the action a strategy takes at a grid point.
+type Decision int8
+
+// Decisions.
+const (
+	// Ask requests one more answer.
+	Ask Decision = iota
+	// Pass terminates declaring the item satisfies the predicate.
+	Pass
+	// Fail terminates declaring the item does not satisfy the predicate.
+	Fail
+)
+
+// String returns the decision name.
+func (d Decision) String() string {
+	switch d {
+	case Ask:
+		return "Ask"
+	case Pass:
+		return "Pass"
+	case Fail:
+		return "Fail"
+	default:
+		return "Unknown"
+	}
+}
+
+// Model is the answer-generation model: workers answer correctly with
+// probability Accuracy regardless of the true class, and items satisfy the
+// predicate with prior probability Prior.
+type Model struct {
+	Accuracy float64
+	Prior    float64
+}
+
+// Validate reports whether the model is usable.
+func (m Model) Validate() error {
+	if m.Accuracy <= 0.5 || m.Accuracy >= 1 {
+		return fmt.Errorf("filter: accuracy %v must be in (0.5, 1)", m.Accuracy)
+	}
+	if m.Prior <= 0 || m.Prior >= 1 {
+		return fmt.Errorf("filter: prior %v must be in (0, 1)", m.Prior)
+	}
+	return nil
+}
+
+// Posterior returns P(item = 1 | x No answers, y Yes answers).
+func (m Model) Posterior(x, y int) float64 {
+	// Likelihood ratio in log space: each Yes multiplies by a/(1-a), each
+	// No by (1-a)/a, starting from the prior odds.
+	a := m.Accuracy
+	logOdds := math.Log(m.Prior/(1-m.Prior)) + float64(y-x)*math.Log(a/(1-a))
+	return 1 / (1 + math.Exp(-logOdds))
+}
+
+// NextYesProb returns the predictive probability the next answer is Yes
+// given the current point: P(1|x,y)·a + P(0|x,y)·(1−a).
+func (m Model) NextYesProb(x, y int) float64 {
+	p1 := m.Posterior(x, y)
+	return p1*m.Accuracy + (1-p1)*(1-m.Accuracy)
+}
+
+// Strategy is a synthesized quality-control strategy over the triangular
+// grid {(x, y): x+y ≤ MaxQuestions}.
+type Strategy struct {
+	// MaxQuestions bounds the total answers per task.
+	MaxQuestions int
+	// dec[x][y] is the decision at (x, y) for x+y <= MaxQuestions.
+	dec [][]Decision
+}
+
+// Decide returns the decision at (x, y). Points outside the grid terminate
+// with the posterior-majority decision given a balanced model, defaulting
+// to Fail; callers should not leave the grid when following Ask decisions.
+func (s Strategy) Decide(x, y int) Decision {
+	if x < 0 || y < 0 || x+y > s.MaxQuestions {
+		return Fail
+	}
+	return s.dec[x][y]
+}
+
+// IsTerminal reports whether (x, y) stops asking — the adapter surface the
+// pricing integration (core.NewQualityStrategy) consumes.
+func (s Strategy) IsTerminal(x, y int) bool {
+	return s.Decide(x, y) != Ask
+}
+
+// Synthesize builds the minimum-expected-question strategy whose expected
+// error is at most errBound, over grids of at most maxQuestions answers.
+// It returns an error when even the full grid cannot meet the bound.
+func Synthesize(m Model, maxQuestions int, errBound float64) (Strategy, error) {
+	if err := m.Validate(); err != nil {
+		return Strategy{}, err
+	}
+	if maxQuestions < 1 {
+		return Strategy{}, errors.New("filter: maxQuestions must be at least 1")
+	}
+	if errBound <= 0 || errBound >= 1 {
+		return Strategy{}, fmt.Errorf("filter: error bound %v must be in (0, 1)", errBound)
+	}
+	// Check feasibility at an effectively infinite penalty.
+	best := synthesizeWithPenalty(m, maxQuestions, 1e12)
+	if _, e := best.Evaluate(m); e > errBound {
+		return Strategy{}, fmt.Errorf("filter: error %v unreachable within %d questions", errBound, maxQuestions)
+	}
+	// Binary search the Lagrangian penalty μ: larger μ → fewer errors, more
+	// questions. Keep the cheapest strategy meeting the bound.
+	lo, hi := 0.0, 1e12
+	for iter := 0; iter < 60; iter++ {
+		mid := (lo + hi) / 2
+		cand := synthesizeWithPenalty(m, maxQuestions, mid)
+		if _, e := cand.Evaluate(m); e <= errBound {
+			best = cand
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return best, nil
+}
+
+// synthesizeWithPenalty runs the backward induction for one penalty value.
+func synthesizeWithPenalty(m Model, maxQ int, mu float64) Strategy {
+	s := Strategy{MaxQuestions: maxQ}
+	s.dec = make([][]Decision, maxQ+1)
+	cost := make([][]float64, maxQ+1)
+	for x := 0; x <= maxQ; x++ {
+		s.dec[x] = make([]Decision, maxQ-x+1)
+		cost[x] = make([]float64, maxQ-x+1)
+	}
+	// Sweep anti-diagonals from the deepest layer inward.
+	for total := maxQ; total >= 0; total-- {
+		for x := 0; x <= total; x++ {
+			y := total - x
+			p1 := m.Posterior(x, y)
+			passCost := mu * (1 - p1) // declaring 1 errs on true 0
+			failCost := mu * p1       // declaring 0 errs on true 1
+			bestCost := passCost
+			bestDec := Pass
+			if failCost < bestCost {
+				bestCost = failCost
+				bestDec = Fail
+			}
+			if total < maxQ {
+				pYes := m.NextYesProb(x, y)
+				askCost := 1 + pYes*cost[x][y+1] + (1-pYes)*cost[x+1][y]
+				if askCost < bestCost {
+					bestCost = askCost
+					bestDec = Ask
+				}
+			}
+			cost[x][y] = bestCost
+			s.dec[x][y] = bestDec
+		}
+	}
+	return s
+}
+
+// Evaluate returns the expected number of questions per task and the
+// expected classification error under the model, by propagating the reach
+// probabilities forward from (0, 0).
+func (s Strategy) Evaluate(m Model) (expQuestions, expError float64) {
+	maxQ := s.MaxQuestions
+	reach := make([][]float64, maxQ+1)
+	for x := range reach {
+		reach[x] = make([]float64, maxQ-x+1)
+	}
+	reach[0][0] = 1
+	for total := 0; total <= maxQ; total++ {
+		for x := 0; x <= total; x++ {
+			y := total - x
+			p := reach[x][y]
+			if p == 0 {
+				continue
+			}
+			switch s.dec[x][y] {
+			case Pass:
+				expError += p * (1 - m.Posterior(x, y))
+			case Fail:
+				expError += p * m.Posterior(x, y)
+			case Ask:
+				expQuestions += p
+				pYes := m.NextYesProb(x, y)
+				reach[x][y+1] += p * pYes
+				reach[x+1][y] += p * (1 - pYes)
+			}
+		}
+	}
+	return expQuestions, expError
+}
+
+// WorstCaseFromOrigin returns the maximum number of questions a task can
+// consume — the N-inflation factor of the pricing integration.
+func (s Strategy) WorstCaseFromOrigin() int {
+	return s.worstCase(0, 0)
+}
+
+func (s Strategy) worstCase(x, y int) int {
+	if s.IsTerminal(x, y) {
+		return 0
+	}
+	a := s.worstCase(x+1, y)
+	if b := s.worstCase(x, y+1); b > a {
+		a = b
+	}
+	return 1 + a
+}

@@ -1,0 +1,256 @@
+package filter
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func model() Model { return Model{Accuracy: 0.8, Prior: 0.5} }
+
+func TestModelValidate(t *testing.T) {
+	if err := model().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Model{
+		{Accuracy: 0.5, Prior: 0.5},
+		{Accuracy: 1, Prior: 0.5},
+		{Accuracy: 0.8, Prior: 0},
+		{Accuracy: 0.8, Prior: 1},
+	}
+	for _, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("%+v accepted", m)
+		}
+	}
+}
+
+func TestPosteriorKnownValues(t *testing.T) {
+	m := model()
+	// Symmetric evidence cancels out.
+	if got := m.Posterior(0, 0); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Posterior(0,0) = %v", got)
+	}
+	if got := m.Posterior(2, 2); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Posterior(2,2) = %v", got)
+	}
+	// One Yes with a=0.8, prior 0.5: posterior = 0.8.
+	if got := m.Posterior(0, 1); math.Abs(got-0.8) > 1e-12 {
+		t.Errorf("Posterior(0,1) = %v, want 0.8", got)
+	}
+	if got := m.Posterior(1, 0); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("Posterior(1,0) = %v, want 0.2", got)
+	}
+}
+
+func TestPosteriorBayesConsistency(t *testing.T) {
+	// Posterior via the log-odds shortcut equals brute-force Bayes.
+	m := Model{Accuracy: 0.7, Prior: 0.3}
+	for x := 0; x <= 5; x++ {
+		for y := 0; y <= 5; y++ {
+			a := m.Accuracy
+			l1 := m.Prior * math.Pow(a, float64(y)) * math.Pow(1-a, float64(x))
+			l0 := (1 - m.Prior) * math.Pow(1-a, float64(y)) * math.Pow(a, float64(x))
+			want := l1 / (l1 + l0)
+			if got := m.Posterior(x, y); math.Abs(got-want) > 1e-10 {
+				t.Fatalf("Posterior(%d,%d) = %v, want %v", x, y, got, want)
+			}
+		}
+	}
+}
+
+func TestNextYesProbBounds(t *testing.T) {
+	m := model()
+	f := func(x, y int) bool {
+		x, y = x%10, y%10
+		if x < 0 {
+			x = -x
+		}
+		if y < 0 {
+			y = -y
+		}
+		p := m.NextYesProb(x, y)
+		return p > 0 && p < 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSynthesizeMeetsErrorBound(t *testing.T) {
+	for _, bound := range []float64{0.2, 0.1, 0.05} {
+		s, err := Synthesize(model(), 11, bound)
+		if err != nil {
+			t.Fatalf("bound %v: %v", bound, err)
+		}
+		q, e := s.Evaluate(model())
+		if e > bound+1e-9 {
+			t.Errorf("bound %v: error %v exceeded", bound, e)
+		}
+		if q <= 0 {
+			t.Errorf("bound %v: expected questions %v", bound, q)
+		}
+	}
+}
+
+func TestSynthesizeTighterBoundCostsMore(t *testing.T) {
+	prevQ := 0.0
+	for _, bound := range []float64{0.25, 0.15, 0.08, 0.04} {
+		s, err := Synthesize(model(), 15, bound)
+		if err != nil {
+			t.Fatalf("bound %v: %v", bound, err)
+		}
+		q, _ := s.Evaluate(model())
+		if q < prevQ-1e-9 {
+			t.Errorf("bound %v: questions %v fell below %v", bound, q, prevQ)
+		}
+		prevQ = q
+	}
+}
+
+func TestSynthesizeInfeasible(t *testing.T) {
+	// One question with a mediocre worker cannot reach 1% error.
+	if _, err := Synthesize(model(), 1, 0.01); err == nil {
+		t.Error("want infeasibility error")
+	}
+	if _, err := Synthesize(Model{Accuracy: 0.4, Prior: 0.5}, 5, 0.1); err == nil {
+		t.Error("want model validation error")
+	}
+	if _, err := Synthesize(model(), 0, 0.1); err == nil {
+		t.Error("want maxQuestions error")
+	}
+	if _, err := Synthesize(model(), 5, 0); err == nil {
+		t.Error("want bound validation error")
+	}
+}
+
+func TestStrategyDecisionsWellFormed(t *testing.T) {
+	s, err := Synthesize(model(), 9, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deepest layer never asks; all grid decisions are valid.
+	for x := 0; x <= 9; x++ {
+		y := 9 - x
+		if s.Decide(x, y) == Ask {
+			t.Errorf("deepest point (%d,%d) asks", x, y)
+		}
+	}
+	// Strong Yes evidence passes, strong No evidence fails.
+	if s.Decide(0, 9) != Pass {
+		t.Errorf("Decide(0,9) = %v, want Pass", s.Decide(0, 9))
+	}
+	if s.Decide(9, 0) != Fail {
+		t.Errorf("Decide(9,0) = %v, want Fail", s.Decide(9, 0))
+	}
+	// Outside the grid terminates.
+	if !s.IsTerminal(-1, 0) || !s.IsTerminal(5, 5) {
+		t.Error("out-of-grid points should be terminal")
+	}
+}
+
+// TestSymmetricModelSymmetricStrategy: with prior 0.5 the optimal strategy
+// is symmetric in x and y (Pass at (x,y) ⇔ Fail at (y,x)).
+func TestSymmetricModelSymmetricStrategy(t *testing.T) {
+	s, err := Synthesize(model(), 10, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := 0; x <= 10; x++ {
+		for y := 0; x+y <= 10; y++ {
+			a, b := s.Decide(x, y), s.Decide(y, x)
+			switch a {
+			case Ask:
+				if b != Ask {
+					t.Fatalf("asymmetry at (%d,%d): %v vs %v", x, y, a, b)
+				}
+			case Pass:
+				if b != Fail && x != y {
+					t.Fatalf("asymmetry at (%d,%d): %v vs %v", x, y, a, b)
+				}
+			case Fail:
+				if b != Pass && x != y {
+					t.Fatalf("asymmetry at (%d,%d): %v vs %v", x, y, a, b)
+				}
+			}
+		}
+	}
+}
+
+// TestEvaluateMatchesSimulation: forward-DP metrics agree with Monte Carlo.
+func TestEvaluateMatchesSimulation(t *testing.T) {
+	m := model()
+	s, err := Synthesize(m, 9, 0.12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantQ, wantE := s.Evaluate(m)
+	// Deterministic LCG to avoid importing dist here.
+	seed := uint64(12345)
+	next := func() float64 {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		return float64(seed>>11) / float64(1<<53)
+	}
+	const trials = 60_000
+	var sumQ, sumE float64
+	for i := 0; i < trials; i++ {
+		truth := next() < m.Prior
+		x, y := 0, 0
+		for s.Decide(x, y) == Ask {
+			correct := next() < m.Accuracy
+			saysYes := (truth && correct) || (!truth && !correct)
+			if saysYes {
+				y++
+			} else {
+				x++
+			}
+			sumQ++
+		}
+		switch s.Decide(x, y) {
+		case Pass:
+			if !truth {
+				sumE++
+			}
+		case Fail:
+			if truth {
+				sumE++
+			}
+		}
+	}
+	gotQ, gotE := sumQ/trials, sumE/trials
+	if math.Abs(gotQ-wantQ) > 0.05*wantQ {
+		t.Errorf("simulated E[questions] %v vs analytic %v", gotQ, wantQ)
+	}
+	if math.Abs(gotE-wantE) > 0.25*wantE+0.005 {
+		t.Errorf("simulated E[error] %v vs analytic %v", gotE, wantE)
+	}
+}
+
+func TestWorstCaseFromOrigin(t *testing.T) {
+	s, err := Synthesize(model(), 7, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := s.WorstCaseFromOrigin()
+	if w < 1 || w > 7 {
+		t.Errorf("worst case %d outside [1, 7]", w)
+	}
+	// Tighter error budgets cannot shrink the worst case below a majority
+	// vote's depth.
+	loose, err := Synthesize(model(), 7, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loose.WorstCaseFromOrigin() > w {
+		t.Errorf("looser bound has deeper worst case: %d > %d", loose.WorstCaseFromOrigin(), w)
+	}
+}
+
+func TestDecisionString(t *testing.T) {
+	if Ask.String() != "Ask" || Pass.String() != "Pass" || Fail.String() != "Fail" {
+		t.Error("bad decision names")
+	}
+	if Decision(9).String() != "Unknown" {
+		t.Error("bad unknown name")
+	}
+}

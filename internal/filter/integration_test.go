@@ -1,0 +1,74 @@
+package filter_test
+
+import (
+	"testing"
+
+	"crowdpricing/internal/choice"
+	"crowdpricing/internal/core"
+	"crowdpricing/internal/filter"
+)
+
+// TestFilterPlugsIntoPricing wires a synthesized quality-control strategy
+// into the Section 6 pricing integration: the filtering strategy sets the
+// per-task worst-case question load, the deadline MDP prices the inflated
+// question count, and the running plan tracks the load as tasks move across
+// the grid.
+func TestFilterPlugsIntoPricing(t *testing.T) {
+	m := filter.Model{Accuracy: 0.8, Prior: 0.5}
+	fs, err := filter.Synthesize(m, 9, 0.08)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := core.NewQualityStrategy(fs.MaxQuestions, fs.IsTerminal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := qs.WorstCaseAdditional(0, 0), fs.WorstCaseFromOrigin(); got != want {
+		t.Fatalf("adapter worst case %d, filter worst case %d", got, want)
+	}
+
+	lambdas := make([]float64, 9)
+	for i := range lambdas {
+		lambdas[i] = 1733
+	}
+	base := &core.DeadlineProblem{
+		N: 20, Horizon: 3, Intervals: 9, Lambdas: lambdas,
+		Accept: choice.Paper13, MinPrice: 0, MaxPrice: 40,
+		Penalty: 400, TruncEps: 1e-9,
+	}
+	plan, err := core.PlanWithQuality(base, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Policy.Problem.N != 20*qs.WorstCaseAdditional(0, 0) {
+		t.Errorf("plan sized for %d questions, want %d",
+			plan.Policy.Problem.N, 20*qs.WorstCaseAdditional(0, 0))
+	}
+
+	// As tasks gather evidence, the tracked load shrinks and the posted
+	// price does not increase at a fixed time.
+	fresh := make([]core.TaskPoint, 20)
+	progressed := make([]core.TaskPoint, 20)
+	for i := range progressed {
+		progressed[i] = core.TaskPoint{X: 1, Y: 2}
+	}
+	if plan.Load(progressed) >= plan.Load(fresh) {
+		t.Errorf("progress did not reduce load: %d vs %d", plan.Load(progressed), plan.Load(fresh))
+	}
+	if plan.PriceAt(progressed, 4) > plan.PriceAt(fresh, 4) {
+		t.Errorf("progress raised the price: %d > %d",
+			plan.PriceAt(progressed, 4), plan.PriceAt(fresh, 4))
+	}
+}
+
+// TestNewQualityStrategyRejectsNonTerminatingDepth: the adapter refuses
+// grids whose deepest layer keeps asking.
+func TestNewQualityStrategyRejectsNonTerminatingDepth(t *testing.T) {
+	_, err := core.NewQualityStrategy(3, func(x, y int) bool { return false })
+	if err == nil {
+		t.Error("want error for non-terminating depth limit")
+	}
+	if _, err := core.NewQualityStrategy(0, func(int, int) bool { return true }); err == nil {
+		t.Error("want error for zero depth")
+	}
+}

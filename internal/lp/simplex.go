@@ -1,0 +1,278 @@
+// Package lp provides a small dense linear-programming solver used to
+// cross-validate the convex-hull solution of the fixed-budget pricing LP
+// (Section 4.3). It implements the two-phase primal simplex method for
+// problems in the form
+//
+//	minimize cᵀx  subject to  A·x (≤,=,≥) b,  x ≥ 0.
+//
+// The solver targets the small instances that arise here (tens of variables,
+// a handful of constraints); it is not a general-purpose LP code.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Relation is the sense of one linear constraint.
+type Relation int
+
+// Constraint senses.
+const (
+	LE Relation = iota // ≤
+	EQ                 // =
+	GE                 // ≥
+)
+
+// Constraint is one row aᵀx (rel) b.
+type Constraint struct {
+	Coeffs []float64
+	Rel    Relation
+	RHS    float64
+}
+
+// Problem is a minimization LP over non-negative variables.
+type Problem struct {
+	// Objective holds the cost coefficients c.
+	Objective []float64
+	// Constraints holds the rows of A together with senses and RHS.
+	Constraints []Constraint
+}
+
+// Errors returned by Solve.
+var (
+	ErrInfeasible = errors.New("lp: infeasible")
+	ErrUnbounded  = errors.New("lp: unbounded")
+)
+
+const eps = 1e-9
+
+// Solution is an optimal LP solution.
+type Solution struct {
+	// X holds the optimal variable values.
+	X []float64
+	// Objective is cᵀx at the optimum.
+	Objective float64
+}
+
+// Solve runs two-phase primal simplex and returns an optimal solution.
+func Solve(p Problem) (Solution, error) {
+	n := len(p.Objective)
+	if n == 0 {
+		return Solution{}, errors.New("lp: empty objective")
+	}
+	m := len(p.Constraints)
+	for i, c := range p.Constraints {
+		if len(c.Coeffs) != n {
+			return Solution{}, fmt.Errorf("lp: constraint %d has %d coefficients, want %d", i, len(c.Coeffs), n)
+		}
+	}
+
+	// Standardize: ensure b >= 0 by flipping rows, then add slack/surplus
+	// and artificial variables.
+	type row struct {
+		a   []float64
+		rel Relation
+		b   float64
+	}
+	rows := make([]row, m)
+	for i, c := range p.Constraints {
+		a := append([]float64(nil), c.Coeffs...)
+		b := c.RHS
+		rel := c.Rel
+		if b < 0 {
+			for j := range a {
+				a[j] = -a[j]
+			}
+			b = -b
+			switch rel {
+			case LE:
+				rel = GE
+			case GE:
+				rel = LE
+			}
+		}
+		rows[i] = row{a: a, rel: rel, b: b}
+	}
+
+	// Column layout: [x (n)] [slack/surplus (s)] [artificial (t)].
+	numSlack := 0
+	for _, r := range rows {
+		if r.rel != EQ {
+			numSlack++
+		}
+	}
+	numArt := 0
+	for _, r := range rows {
+		if r.rel != LE {
+			numArt++
+		}
+	}
+	total := n + numSlack + numArt
+	tab := make([][]float64, m)
+	basis := make([]int, m)
+	slackIdx := n
+	artIdx := n + numSlack
+	artCols := make([]int, 0, numArt)
+	for i, r := range rows {
+		tab[i] = make([]float64, total+1)
+		copy(tab[i], r.a)
+		tab[i][total] = r.b
+		switch r.rel {
+		case LE:
+			tab[i][slackIdx] = 1
+			basis[i] = slackIdx
+			slackIdx++
+		case GE:
+			tab[i][slackIdx] = -1
+			slackIdx++
+			tab[i][artIdx] = 1
+			basis[i] = artIdx
+			artCols = append(artCols, artIdx)
+			artIdx++
+		case EQ:
+			tab[i][artIdx] = 1
+			basis[i] = artIdx
+			artCols = append(artCols, artIdx)
+			artIdx++
+		}
+	}
+
+	// Phase 1: minimize sum of artificials.
+	if numArt > 0 {
+		obj := make([]float64, total)
+		for _, c := range artCols {
+			obj[c] = 1
+		}
+		v, err := simplexIterate(tab, basis, obj)
+		if err != nil {
+			return Solution{}, err
+		}
+		if v > eps {
+			return Solution{}, ErrInfeasible
+		}
+		// Drive any artificial variables out of the basis.
+		for i, b := range basis {
+			if b >= n+numSlack {
+				pivoted := false
+				for j := 0; j < n+numSlack; j++ {
+					if math.Abs(tab[i][j]) > eps {
+						pivot(tab, basis, i, j)
+						pivoted = true
+						break
+					}
+				}
+				if !pivoted {
+					// Redundant row; leave the artificial at zero.
+					continue
+				}
+			}
+		}
+	}
+
+	// Phase 2: original objective, artificial columns forbidden.
+	obj := make([]float64, total)
+	copy(obj, p.Objective)
+	for _, c := range artCols {
+		obj[c] = math.Inf(1) // never enter
+	}
+	v, err := simplexIterate(tab, basis, obj)
+	if err != nil {
+		return Solution{}, err
+	}
+	x := make([]float64, n)
+	for i, b := range basis {
+		if b < n {
+			x[b] = tab[i][total]
+		}
+	}
+	return Solution{X: x, Objective: v}, nil
+}
+
+// simplexIterate runs primal simplex on the tableau until optimality,
+// returning the objective value. obj has one cost per column; +Inf marks a
+// column that must never enter the basis.
+func simplexIterate(tab [][]float64, basis []int, obj []float64) (float64, error) {
+	m := len(tab)
+	if m == 0 {
+		return 0, nil
+	}
+	total := len(tab[0]) - 1
+	for iter := 0; iter < 10_000; iter++ {
+		// Reduced costs: c_j − c_Bᵀ B⁻¹ A_j, computed directly from the
+		// current tableau (columns are already B⁻¹A).
+		var entering = -1
+		var bestRC float64 = -eps
+		for j := 0; j < total; j++ {
+			if math.IsInf(obj[j], 1) {
+				continue
+			}
+			rc := obj[j]
+			for i := 0; i < m; i++ {
+				if !math.IsInf(obj[basis[i]], 1) {
+					rc -= obj[basis[i]] * tab[i][j]
+				} else if math.Abs(tab[i][j]) > eps {
+					// An artificial is basic with a nonzero entry in this
+					// column; entering here could make it positive. Treat
+					// cost as prohibitive.
+					rc = math.Inf(1)
+					break
+				}
+			}
+			if rc < bestRC {
+				bestRC = rc
+				entering = j
+			}
+		}
+		if entering == -1 {
+			// Optimal.
+			v := 0.0
+			for i := 0; i < m; i++ {
+				if !math.IsInf(obj[basis[i]], 1) {
+					v += obj[basis[i]] * tab[i][total]
+				}
+			}
+			return v, nil
+		}
+		// Ratio test.
+		leave := -1
+		best := math.Inf(1)
+		for i := 0; i < m; i++ {
+			if tab[i][entering] > eps {
+				r := tab[i][total] / tab[i][entering]
+				if r < best-eps || (math.Abs(r-best) <= eps && leave >= 0 && basis[i] < basis[leave]) {
+					best = r
+					leave = i
+				}
+			}
+		}
+		if leave == -1 {
+			return 0, ErrUnbounded
+		}
+		pivot(tab, basis, leave, entering)
+	}
+	return 0, errors.New("lp: iteration limit reached (cycling?)")
+}
+
+func pivot(tab [][]float64, basis []int, r, c int) {
+	m := len(tab)
+	width := len(tab[r])
+	pv := tab[r][c]
+	for j := 0; j < width; j++ {
+		tab[r][j] /= pv
+	}
+	for i := 0; i < m; i++ {
+		if i == r {
+			continue
+		}
+		f := tab[i][c]
+		if f == 0 {
+			continue
+		}
+		for j := 0; j < width; j++ {
+			tab[i][j] -= f * tab[r][j]
+		}
+	}
+	basis[r] = c
+}

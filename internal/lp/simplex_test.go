@@ -1,0 +1,152 @@
+package lp
+
+import (
+	"math"
+	"testing"
+)
+
+func solveOK(t *testing.T, p Problem) Solution {
+	t.Helper()
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	return s
+}
+
+func TestSolveBasicLE(t *testing.T) {
+	// min -x - y s.t. x + y <= 4, x <= 2 → x=2, y=2, obj=-4.
+	s := solveOK(t, Problem{
+		Objective: []float64{-1, -1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Rel: LE, RHS: 4},
+			{Coeffs: []float64{1, 0}, Rel: LE, RHS: 2},
+		},
+	})
+	if math.Abs(s.Objective+4) > 1e-9 {
+		t.Errorf("objective = %v, want -4", s.Objective)
+	}
+	if math.Abs(s.X[0]-2) > 1e-9 || math.Abs(s.X[1]-2) > 1e-9 {
+		t.Errorf("x = %v, want [2 2]", s.X)
+	}
+}
+
+func TestSolveWithEquality(t *testing.T) {
+	// min 2x + 3y s.t. x + y = 10, x >= 4 → x=10, y=0? No: obj favors x
+	// (coeff 2 < 3), so x=10, y=0, obj=20.
+	s := solveOK(t, Problem{
+		Objective: []float64{2, 3},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Rel: EQ, RHS: 10},
+			{Coeffs: []float64{1, 0}, Rel: GE, RHS: 4},
+		},
+	})
+	if math.Abs(s.Objective-20) > 1e-9 {
+		t.Errorf("objective = %v, want 20", s.Objective)
+	}
+}
+
+func TestSolveGE(t *testing.T) {
+	// min x + y s.t. x + 2y >= 6, 2x + y >= 6 → x=y=2, obj=4.
+	s := solveOK(t, Problem{
+		Objective: []float64{1, 1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 2}, Rel: GE, RHS: 6},
+			{Coeffs: []float64{2, 1}, Rel: GE, RHS: 6},
+		},
+	})
+	if math.Abs(s.Objective-4) > 1e-9 {
+		t.Errorf("objective = %v, want 4", s.Objective)
+	}
+	if math.Abs(s.X[0]-2) > 1e-9 || math.Abs(s.X[1]-2) > 1e-9 {
+		t.Errorf("x = %v, want [2 2]", s.X)
+	}
+}
+
+func TestSolveInfeasible(t *testing.T) {
+	_, err := Solve(Problem{
+		Objective: []float64{1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1}, Rel: LE, RHS: 1},
+			{Coeffs: []float64{1}, Rel: GE, RHS: 2},
+		},
+	})
+	if err != ErrInfeasible {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestSolveUnbounded(t *testing.T) {
+	_, err := Solve(Problem{
+		Objective: []float64{-1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1}, Rel: GE, RHS: 1},
+		},
+	})
+	if err != ErrUnbounded {
+		t.Errorf("err = %v, want ErrUnbounded", err)
+	}
+}
+
+func TestSolveNegativeRHS(t *testing.T) {
+	// min x s.t. -x <= -3 (i.e. x >= 3) → x=3.
+	s := solveOK(t, Problem{
+		Objective: []float64{1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{-1}, Rel: LE, RHS: -3},
+		},
+	})
+	if math.Abs(s.X[0]-3) > 1e-9 {
+		t.Errorf("x = %v, want 3", s.X[0])
+	}
+}
+
+func TestSolveDegenerateRedundantRows(t *testing.T) {
+	// Duplicate equality rows must not break phase 1.
+	s := solveOK(t, Problem{
+		Objective: []float64{1, 1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Rel: EQ, RHS: 5},
+			{Coeffs: []float64{1, 1}, Rel: EQ, RHS: 5},
+		},
+	})
+	if math.Abs(s.Objective-5) > 1e-9 {
+		t.Errorf("objective = %v, want 5", s.Objective)
+	}
+}
+
+// TestSolveBudgetShape solves a miniature of the Section 4.3 pricing LP:
+// min Σ n_c / p(c) s.t. Σ n_c = N, Σ c·n_c <= B. The optimum should use the
+// two hull prices.
+func TestSolveBudgetShape(t *testing.T) {
+	// Three candidate prices with 1/p values forming a strictly convex
+	// curve: price 1 → 10, price 2 → 4, price 3 → 3.
+	// N=10 tasks, budget B=15 → average price 1.5, between prices 1 and 2.
+	s := solveOK(t, Problem{
+		Objective: []float64{10, 4, 3},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1, 1}, Rel: EQ, RHS: 10},
+			{Coeffs: []float64{1, 2, 3}, Rel: LE, RHS: 15},
+		},
+	})
+	// Expect n1=5, n2=5: objective 5*10+5*4 = 70.
+	if math.Abs(s.Objective-70) > 1e-6 {
+		t.Errorf("objective = %v, want 70 (x=%v)", s.Objective, s.X)
+	}
+	if s.X[2] > 1e-9 {
+		t.Errorf("non-hull allocation used: %v", s.X)
+	}
+}
+
+func TestSolveValidation(t *testing.T) {
+	if _, err := Solve(Problem{}); err == nil {
+		t.Error("want error for empty objective")
+	}
+	_, err := Solve(Problem{
+		Objective:   []float64{1, 2},
+		Constraints: []Constraint{{Coeffs: []float64{1}, Rel: LE, RHS: 1}},
+	})
+	if err == nil {
+		t.Error("want error for ragged constraint")
+	}
+}

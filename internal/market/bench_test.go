@@ -1,0 +1,36 @@
+package market
+
+import "testing"
+
+func BenchmarkRunFixedBundle20(b *testing.B) {
+	cfg := PaperLiveConfig(PaperArrival())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunFixed(cfg, 20, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPlanGroupSizes(b *testing.B) {
+	cfg := PaperLiveConfig(PaperArrival())
+	results := map[int]*Result{}
+	for _, g := range PaperGroupSizes {
+		res, err := RunFixed(cfg, g, int64(g))
+		if err != nil {
+			b.Fatal(err)
+		}
+		results[g] = res
+	}
+	rates, err := EstimateGroupRates(cfg, results)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := PlanGroupSizes(cfg, rates, 10, 500); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

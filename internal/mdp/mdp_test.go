@@ -1,0 +1,214 @@
+package mdp
+
+import (
+	"math"
+	"testing"
+)
+
+// TestFiniteHorizonDeterministicChain: a chain where action 0 costs 2 and
+// action 1 costs 3 but terminal cost punishes not advancing.
+func TestFiniteHorizonDeterministicChain(t *testing.T) {
+	// States 0..3; action a moves s -> s+1 (if possible) at cost a+1 with
+	// prob 1 for action 1, prob 0.5 for action 0.
+	m := FiniteHorizon{
+		Horizon: 3,
+		States:  4,
+		Actions: 2,
+		Transitions: func(_, s, a int) []Transition {
+			if s == 3 {
+				return []Transition{{Next: 3, Prob: 1, Cost: 0}}
+			}
+			if a == 1 {
+				return []Transition{{Next: s + 1, Prob: 1, Cost: 3}}
+			}
+			return []Transition{
+				{Next: s + 1, Prob: 0.5, Cost: 1},
+				{Next: s, Prob: 0.5, Cost: 1},
+			}
+		},
+		TerminalCost: func(s int) float64 {
+			return float64(3-s) * 100 // heavy penalty for not reaching 3
+		},
+	}
+	pol, err := SolveFiniteHorizon(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With only 3 stages to climb 3 states, the certain action 1 must be
+	// chosen everywhere on the critical path.
+	if pol.Action[0][0] != 1 {
+		t.Errorf("stage 0 state 0 action = %d, want 1", pol.Action[0][0])
+	}
+	if got, want := pol.Value[0][0], 9.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("value = %v, want %v", got, want)
+	}
+	// Already-done state pays nothing.
+	if pol.Value[0][3] != 0 {
+		t.Errorf("value at goal = %v", pol.Value[0][3])
+	}
+}
+
+// TestFiniteHorizonMatchesHandComputation checks a 1-stage stochastic
+// decision against arithmetic done by hand.
+func TestFiniteHorizonMatchesHandComputation(t *testing.T) {
+	// One stage. State 0. Action 0: stay (terminal cost 10) for free.
+	// Action 1: pay 4, then with prob 0.7 reach state 1 (terminal 0),
+	// with prob 0.3 stay (terminal 10). Q0 = 10, Q1 = 4 + 0.3*10 = 7.
+	m := FiniteHorizon{
+		Horizon: 1,
+		States:  2,
+		Actions: 2,
+		Transitions: func(_, s, a int) []Transition {
+			if s == 1 || a == 0 {
+				return []Transition{{Next: s, Prob: 1}}
+			}
+			return []Transition{
+				{Next: 1, Prob: 0.7, Cost: 4},
+				{Next: 0, Prob: 0.3, Cost: 4},
+			}
+		},
+		TerminalCost: func(s int) float64 {
+			if s == 0 {
+				return 10
+			}
+			return 0
+		},
+	}
+	pol, err := SolveFiniteHorizon(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pol.Action[0][0] != 1 {
+		t.Errorf("action = %d, want 1", pol.Action[0][0])
+	}
+	if math.Abs(pol.Value[0][0]-7) > 1e-9 {
+		t.Errorf("value = %v, want 7", pol.Value[0][0])
+	}
+}
+
+func TestFiniteHorizonShortfallMassStays(t *testing.T) {
+	// Transitions returning probability mass < 1 keep the remainder in
+	// place at zero cost.
+	m := FiniteHorizon{
+		Horizon: 1,
+		States:  2,
+		Actions: 1,
+		Transitions: func(_, s, a int) []Transition {
+			if s == 0 {
+				return []Transition{{Next: 1, Prob: 0.4, Cost: 1}}
+			}
+			return nil
+		},
+		TerminalCost: func(s int) float64 {
+			if s == 0 {
+				return 5
+			}
+			return 0
+		},
+	}
+	pol, err := SolveFiniteHorizon(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.4*1 + 0.6*5
+	if math.Abs(pol.Value[0][0]-want) > 1e-9 {
+		t.Errorf("value = %v, want %v", pol.Value[0][0], want)
+	}
+}
+
+func TestFiniteHorizonValidation(t *testing.T) {
+	if _, err := SolveFiniteHorizon(FiniteHorizon{}); err == nil {
+		t.Error("want error for empty MDP")
+	}
+}
+
+// TestValueIterationGeometricWait reproduces the analytic expectation of the
+// Section 6 fixed-rate MDP: from state n, each step costs α and a task
+// completes with probability p, so V(n) = n·α/p with a single action.
+func TestValueIterationGeometricWait(t *testing.T) {
+	p := 0.2
+	alpha := 1.0
+	m := Stationary{
+		States:  4,
+		Actions: 1,
+		Transitions: func(s, _ int) []Transition {
+			if s == 0 {
+				return nil
+			}
+			return []Transition{
+				{Next: s - 1, Prob: p, Cost: alpha},
+				{Next: s, Prob: 1 - p, Cost: alpha},
+			}
+		},
+		Absorbing: func(s int) bool { return s == 0 },
+	}
+	v, _, err := SolveValueIteration(m, 1e-12, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < 4; n++ {
+		want := float64(n) * alpha / p
+		if math.Abs(v[n]-want) > 1e-6 {
+			t.Errorf("V(%d) = %v, want %v", n, v[n], want)
+		}
+	}
+}
+
+// TestValueIterationPicksCheaperAction: two actions with different
+// success probabilities and costs; the solver must pick the lower
+// expected-total-cost one.
+func TestValueIterationPicksCheaperAction(t *testing.T) {
+	// Action 0: p=0.5, per-step cost 1 → expected 2 per task.
+	// Action 1: p=0.9, per-step cost 2 → expected 2.22 per task.
+	m := Stationary{
+		States:  3,
+		Actions: 2,
+		Transitions: func(s, a int) []Transition {
+			if s == 0 {
+				return nil
+			}
+			p := 0.5
+			cost := 1.0
+			if a == 1 {
+				p, cost = 0.9, 2.0
+			}
+			return []Transition{
+				{Next: s - 1, Prob: p, Cost: cost},
+				{Next: s, Prob: 1 - p, Cost: cost},
+			}
+		},
+		Absorbing: func(s int) bool { return s == 0 },
+	}
+	v, acts, err := SolveValueIteration(m, 1e-12, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acts[1] != 0 || acts[2] != 0 {
+		t.Errorf("actions = %v, want all 0", acts)
+	}
+	if math.Abs(v[2]-4) > 1e-6 {
+		t.Errorf("V(2) = %v, want 4", v[2])
+	}
+}
+
+func TestValueIterationAbsorbingSelfLoopInfinite(t *testing.T) {
+	// A state that can never leave gets +Inf value rather than divergence.
+	m := Stationary{
+		States:  2,
+		Actions: 1,
+		Transitions: func(s, _ int) []Transition {
+			if s == 0 {
+				return nil
+			}
+			return []Transition{{Next: 1, Prob: 1, Cost: 1}}
+		},
+		Absorbing: func(s int) bool { return s == 0 },
+	}
+	v, _, err := SolveValueIteration(m, 1e-9, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(v[1], 1) {
+		t.Errorf("V(1) = %v, want +Inf", v[1])
+	}
+}

@@ -1,0 +1,34 @@
+package nhpp
+
+import (
+	"testing"
+
+	"crowdpricing/internal/dist"
+	"crowdpricing/internal/rate"
+)
+
+func BenchmarkCount(b *testing.B) {
+	p := New(rate.NewPiecewise(1.0/3, make24hRates()))
+	r := dist.NewRNG(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Count(r, 0, 24)
+	}
+}
+
+func BenchmarkEventsDayTrace(b *testing.B) {
+	p := New(rate.NewLinear([]float64{0, 12, 24}, []float64{100, 300, 100}))
+	r := dist.NewRNG(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Events(r, 0, 24, 0)
+	}
+}
+
+func make24hRates() []float64 {
+	out := make([]float64, 72)
+	for i := range out {
+		out[i] = 5200
+	}
+	return out
+}

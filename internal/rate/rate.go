@@ -1,0 +1,291 @@
+// Package rate models the worker arrival-rate function λ(t) of the
+// non-homogeneous Poisson process in Section 2.1 of the paper. Rates are
+// expressed in workers per hour and time in hours since the start of the
+// horizon.
+//
+// The package provides the parametric families the paper discusses —
+// constant rates, piecewise-constant rates (how the experiments bind λ(t) to
+// 20-minute mturk-tracker buckets), piecewise-linear rates (Massey et al.'s
+// telecom approximation), and periodic wrappers (the weekly repetition
+// visible in Figure 1) — together with exact integration Λ(S,T) = ∫λ(t)dt,
+// which drives every Poisson count in the system via Equation (1).
+package rate
+
+import (
+	"fmt"
+	"math"
+)
+
+// Fn is an arrival-rate function λ(t) with an exact integral. Rates must be
+// non-negative everywhere.
+type Fn interface {
+	// Rate returns λ(t) in workers per hour.
+	Rate(t float64) float64
+	// Integral returns Λ(s, u) = ∫_s^u λ(t) dt, the expected number of
+	// worker arrivals in [s, u]. Implementations must handle s > u by
+	// returning the negated integral.
+	Integral(s, u float64) float64
+}
+
+// Constant is a homogeneous rate λ(t) = C.
+type Constant float64
+
+// Rate implements Fn.
+func (c Constant) Rate(float64) float64 { return float64(c) }
+
+// Integral implements Fn.
+func (c Constant) Integral(s, u float64) float64 { return float64(c) * (u - s) }
+
+// Piecewise is a piecewise-constant rate over equal-width buckets starting
+// at time 0: bucket i covers [i·Width, (i+1)·Width). Outside the covered
+// range the rate repeats the nearest edge bucket, so short horizons behind
+// or beyond the data stay well-defined.
+type Piecewise struct {
+	// Width is the bucket width in hours (20 minutes = 1/3 in the paper's
+	// experiments).
+	Width float64
+	// Rates holds λ for each bucket, in workers per hour.
+	Rates []float64
+}
+
+// NewPiecewise builds a piecewise-constant rate. It panics on an empty rate
+// slice, a non-positive width, or a negative rate, because those are
+// programming errors rather than data conditions.
+func NewPiecewise(width float64, rates []float64) *Piecewise {
+	if width <= 0 {
+		panic("rate: non-positive bucket width")
+	}
+	if len(rates) == 0 {
+		panic("rate: empty rate slice")
+	}
+	for i, r := range rates {
+		if r < 0 || math.IsNaN(r) {
+			panic(fmt.Sprintf("rate: invalid rate %v at bucket %d", r, i))
+		}
+	}
+	cp := make([]float64, len(rates))
+	copy(cp, rates)
+	return &Piecewise{Width: width, Rates: cp}
+}
+
+func (p *Piecewise) bucket(t float64) int {
+	i := int(math.Floor(t / p.Width))
+	if i < 0 {
+		return 0
+	}
+	if i >= len(p.Rates) {
+		return len(p.Rates) - 1
+	}
+	return i
+}
+
+// Rate implements Fn.
+func (p *Piecewise) Rate(t float64) float64 { return p.Rates[p.bucket(t)] }
+
+// Integral implements Fn. The integral is exact: full buckets contribute
+// rate·width and the partial edges contribute proportionally.
+func (p *Piecewise) Integral(s, u float64) float64 {
+	if s > u {
+		return -p.Integral(u, s)
+	}
+	total := 0.0
+	t := s
+	for t < u {
+		i := p.bucket(t)
+		var end float64
+		switch {
+		case t < 0:
+			end = math.Min(u, 0)
+		case i == len(p.Rates)-1:
+			end = u
+		default:
+			end = math.Min(u, float64(i+1)*p.Width)
+		}
+		if end <= t { // guard against FP stalls at bucket edges
+			end = math.Nextafter(t, math.Inf(1))
+		}
+		total += p.Rates[i] * (end - t)
+		t = end
+	}
+	return total
+}
+
+// End returns the time at which the covered buckets end.
+func (p *Piecewise) End() float64 { return float64(len(p.Rates)) * p.Width }
+
+// Linear is a piecewise-linear rate through the points (Times[i], Values[i]),
+// the parametric family Massey et al. use for telecom traffic. Outside the
+// knot range the rate is clamped to the nearest endpoint value.
+type Linear struct {
+	Times  []float64
+	Values []float64
+}
+
+// NewLinear builds a piecewise-linear rate. Times must be strictly
+// increasing and Values non-negative; violations panic.
+func NewLinear(times, values []float64) *Linear {
+	if len(times) != len(values) || len(times) < 2 {
+		panic("rate: Linear needs at least two matching knots")
+	}
+	for i := range times {
+		if i > 0 && times[i] <= times[i-1] {
+			panic("rate: Linear knot times must be strictly increasing")
+		}
+		if values[i] < 0 {
+			panic("rate: negative rate value")
+		}
+	}
+	ct := make([]float64, len(times))
+	cv := make([]float64, len(values))
+	copy(ct, times)
+	copy(cv, values)
+	return &Linear{Times: ct, Values: cv}
+}
+
+// Rate implements Fn.
+func (l *Linear) Rate(t float64) float64 {
+	n := len(l.Times)
+	if t <= l.Times[0] {
+		return l.Values[0]
+	}
+	if t >= l.Times[n-1] {
+		return l.Values[n-1]
+	}
+	// Binary search for the segment containing t.
+	lo, hi := 0, n-1
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if l.Times[mid] <= t {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	frac := (t - l.Times[lo]) / (l.Times[hi] - l.Times[lo])
+	return l.Values[lo] + frac*(l.Values[hi]-l.Values[lo])
+}
+
+// Integral implements Fn using exact trapezoids per segment.
+func (l *Linear) Integral(s, u float64) float64 {
+	if s > u {
+		return -l.Integral(u, s)
+	}
+	total := 0.0
+	// Clamped flat regions outside the knots.
+	n := len(l.Times)
+	if s < l.Times[0] {
+		end := math.Min(u, l.Times[0])
+		total += l.Values[0] * (end - s)
+		s = end
+	}
+	if s >= u {
+		return total
+	}
+	if u > l.Times[n-1] {
+		start := math.Max(s, l.Times[n-1])
+		total += l.Values[n-1] * (u - start)
+		u = l.Times[n-1]
+		if s >= u {
+			return total
+		}
+	}
+	for i := 0; i+1 < n; i++ {
+		a, b := l.Times[i], l.Times[i+1]
+		if b <= s || a >= u {
+			continue
+		}
+		lo, hi := math.Max(a, s), math.Min(b, u)
+		total += (l.Rate(lo) + l.Rate(hi)) / 2 * (hi - lo)
+	}
+	return total
+}
+
+// Periodic wraps a base rate defined on [0, Period) and repeats it forever,
+// modelling the weekly repetition the paper assumes for marketplace traffic.
+type Periodic struct {
+	Base   Fn
+	Period float64
+}
+
+// NewPeriodic wraps base with the given period in hours (168 for weekly).
+func NewPeriodic(base Fn, period float64) *Periodic {
+	if period <= 0 {
+		panic("rate: non-positive period")
+	}
+	return &Periodic{Base: base, Period: period}
+}
+
+// Rate implements Fn.
+func (p *Periodic) Rate(t float64) float64 {
+	return p.Base.Rate(mod(t, p.Period))
+}
+
+// Integral implements Fn by splitting into whole periods plus fragments.
+func (p *Periodic) Integral(s, u float64) float64 {
+	if s > u {
+		return -p.Integral(u, s)
+	}
+	perPeriod := p.Base.Integral(0, p.Period)
+	total := 0.0
+	// Advance s to a period boundary.
+	sm := mod(s, p.Period)
+	if sm != 0 {
+		head := math.Min(u-s, p.Period-sm)
+		total += p.Base.Integral(sm, sm+head)
+		s += head
+	}
+	if s >= u {
+		return total
+	}
+	whole := math.Floor((u - s) / p.Period)
+	total += whole * perPeriod
+	s += whole * p.Period
+	if u > s {
+		total += p.Base.Integral(0, u-s)
+	}
+	return total
+}
+
+// Scaled multiplies a base rate by Factor, used to thin a marketplace rate
+// by a task acceptance probability (λ'(t) = λ(t)·p in Section 2.1).
+type Scaled struct {
+	Base   Fn
+	Factor float64
+}
+
+// Rate implements Fn.
+func (s Scaled) Rate(t float64) float64 { return s.Factor * s.Base.Rate(t) }
+
+// Integral implements Fn.
+func (s Scaled) Integral(a, b float64) float64 { return s.Factor * s.Base.Integral(a, b) }
+
+// Average returns the mean rate over [s, u], the λ̄ of Section 4.2.2.
+func Average(f Fn, s, u float64) float64 {
+	if u == s {
+		return f.Rate(s)
+	}
+	return f.Integral(s, u) / (u - s)
+}
+
+// IntervalMeans partitions [0, horizon] into n equal intervals and returns
+// the expected arrivals λ_t per interval (Equation 4), the quantities the
+// deadline DP consumes.
+func IntervalMeans(f Fn, horizon float64, n int) []float64 {
+	if n <= 0 {
+		panic("rate: IntervalMeans needs n > 0")
+	}
+	out := make([]float64, n)
+	w := horizon / float64(n)
+	for i := range out {
+		out[i] = f.Integral(float64(i)*w, float64(i+1)*w)
+	}
+	return out
+}
+
+func mod(x, m float64) float64 {
+	r := math.Mod(x, m)
+	if r < 0 {
+		r += m
+	}
+	return r
+}

@@ -1,0 +1,211 @@
+package rate
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestConstantIntegral(t *testing.T) {
+	c := Constant(100)
+	if got := c.Integral(2, 5); got != 300 {
+		t.Errorf("Integral(2,5) = %v, want 300", got)
+	}
+	if got := c.Integral(5, 2); got != -300 {
+		t.Errorf("Integral(5,2) = %v, want -300", got)
+	}
+	if got := c.Rate(123); got != 100 {
+		t.Errorf("Rate = %v, want 100", got)
+	}
+}
+
+func TestPiecewiseRateAndIntegral(t *testing.T) {
+	// Three 1-hour buckets at rates 10, 20, 30.
+	p := NewPiecewise(1, []float64{10, 20, 30})
+	if got := p.Rate(0.5); got != 10 {
+		t.Errorf("Rate(0.5) = %v", got)
+	}
+	if got := p.Rate(1.0); got != 20 {
+		t.Errorf("Rate(1.0) = %v", got)
+	}
+	if got := p.Rate(99); got != 30 { // clamped beyond data
+		t.Errorf("Rate(99) = %v", got)
+	}
+	if got := p.Integral(0, 3); !almost(got, 60, 1e-9) {
+		t.Errorf("Integral(0,3) = %v, want 60", got)
+	}
+	if got := p.Integral(0.5, 1.5); !almost(got, 5+10, 1e-9) {
+		t.Errorf("Integral(0.5,1.5) = %v, want 15", got)
+	}
+	// Beyond the data the last bucket extends.
+	if got := p.Integral(2, 4); !almost(got, 60, 1e-9) {
+		t.Errorf("Integral(2,4) = %v, want 60", got)
+	}
+}
+
+func TestPiecewiseIntegralAdditivity(t *testing.T) {
+	p := NewPiecewise(1.0/3, []float64{5, 0, 12, 7, 3, 100, 42})
+	f := func(aRaw, bRaw, cRaw float64) bool {
+		a := math.Mod(math.Abs(aRaw), 3)
+		b := math.Mod(math.Abs(bRaw), 3)
+		c := math.Mod(math.Abs(cRaw), 3)
+		if a > b {
+			a, b = b, a
+		}
+		if b > c {
+			b, c = c, b
+		}
+		if a > b {
+			a, b = b, a
+		}
+		whole := p.Integral(a, c)
+		split := p.Integral(a, b) + p.Integral(b, c)
+		return almost(whole, split, 1e-9*(1+math.Abs(whole)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLinearRateInterpolation(t *testing.T) {
+	l := NewLinear([]float64{0, 2, 4}, []float64{0, 10, 0})
+	if got := l.Rate(1); got != 5 {
+		t.Errorf("Rate(1) = %v, want 5", got)
+	}
+	if got := l.Rate(3); got != 5 {
+		t.Errorf("Rate(3) = %v, want 5", got)
+	}
+	if got := l.Rate(-1); got != 0 {
+		t.Errorf("Rate(-1) = %v, want 0 (clamped)", got)
+	}
+	if got := l.Rate(10); got != 0 {
+		t.Errorf("Rate(10) = %v, want 0 (clamped)", got)
+	}
+	// Triangle area = 1/2 * base(4) * height(10) = 20.
+	if got := l.Integral(0, 4); !almost(got, 20, 1e-9) {
+		t.Errorf("Integral(0,4) = %v, want 20", got)
+	}
+	// Half triangle.
+	if got := l.Integral(0, 2); !almost(got, 10, 1e-9) {
+		t.Errorf("Integral(0,2) = %v, want 10", got)
+	}
+}
+
+func TestLinearIntegralMatchesNumeric(t *testing.T) {
+	l := NewLinear([]float64{0, 1, 3, 6}, []float64{4, 8, 2, 10})
+	for _, span := range [][2]float64{{0, 6}, {0.5, 2.5}, {-1, 7}, {2, 2}} {
+		want := numericIntegral(l, span[0], span[1])
+		got := l.Integral(span[0], span[1])
+		if !almost(got, want, 1e-3*(1+math.Abs(want))) {
+			t.Errorf("Integral(%v,%v) = %v, numeric %v", span[0], span[1], got, want)
+		}
+	}
+}
+
+func TestPeriodicWrapsBase(t *testing.T) {
+	base := NewPiecewise(1, []float64{10, 20})
+	p := NewPeriodic(base, 2)
+	if got := p.Rate(0.5); got != 10 {
+		t.Errorf("Rate(0.5) = %v", got)
+	}
+	if got := p.Rate(2.5); got != 10 {
+		t.Errorf("Rate(2.5) = %v, want 10 (wrapped)", got)
+	}
+	if got := p.Rate(3.5); got != 20 {
+		t.Errorf("Rate(3.5) = %v, want 20 (wrapped)", got)
+	}
+	// One period integrates to 30; ten periods to 300.
+	if got := p.Integral(0, 20); !almost(got, 300, 1e-9) {
+		t.Errorf("Integral(0,20) = %v, want 300", got)
+	}
+	// Fragmented span: [1.5, 4.5] = half of bucket2 + full period + half bucket1.
+	want := 10 + 30 + 5
+	if got := p.Integral(1.5, 4.5); !almost(got, float64(want), 1e-9) {
+		t.Errorf("Integral(1.5,4.5) = %v, want %v", got, want)
+	}
+}
+
+func TestPeriodicIntegralMatchesNumeric(t *testing.T) {
+	base := NewLinear([]float64{0, 12, 24}, []float64{100, 300, 100})
+	p := NewPeriodic(base, 24)
+	for _, span := range [][2]float64{{0, 24}, {6, 54}, {30, 31}, {0, 168}} {
+		want := numericIntegral(p, span[0], span[1])
+		got := p.Integral(span[0], span[1])
+		if !almost(got, want, 1e-2*(1+math.Abs(want))) {
+			t.Errorf("Integral(%v,%v) = %v, numeric %v", span[0], span[1], got, want)
+		}
+	}
+}
+
+func TestScaledThinning(t *testing.T) {
+	base := Constant(6000)
+	thin := Scaled{Base: base, Factor: 0.0016}
+	if got := thin.Rate(1); !almost(got, 9.6, 1e-12) {
+		t.Errorf("Rate = %v, want 9.6", got)
+	}
+	if got := thin.Integral(0, 24); !almost(got, 6000*0.0016*24, 1e-9) {
+		t.Errorf("Integral = %v", got)
+	}
+}
+
+func TestIntervalMeansEquation4(t *testing.T) {
+	// λ_t = ∫ over the t-th of NT equal intervals (Equation 4).
+	p := NewPiecewise(1.0/3, []float64{600, 1200, 1800, 600, 1200, 1800})
+	means := IntervalMeans(p, 2, 6)
+	want := []float64{200, 400, 600, 200, 400, 600}
+	for i := range means {
+		if !almost(means[i], want[i], 1e-9) {
+			t.Errorf("IntervalMeans[%d] = %v, want %v", i, means[i], want[i])
+		}
+	}
+	// Sum of interval means equals total integral.
+	total := 0.0
+	for _, m := range means {
+		total += m
+	}
+	if !almost(total, p.Integral(0, 2), 1e-9) {
+		t.Errorf("ΣIntervalMeans = %v, Integral = %v", total, p.Integral(0, 2))
+	}
+}
+
+func TestAverage(t *testing.T) {
+	p := NewPiecewise(1, []float64{10, 30})
+	if got := Average(p, 0, 2); !almost(got, 20, 1e-9) {
+		t.Errorf("Average = %v, want 20", got)
+	}
+	if got := Average(p, 1, 1); got != 30 {
+		t.Errorf("Average over empty span = %v, want Rate(1)=30", got)
+	}
+}
+
+func TestNewPiecewiseValidation(t *testing.T) {
+	assertPanics(t, func() { NewPiecewise(0, []float64{1}) })
+	assertPanics(t, func() { NewPiecewise(1, nil) })
+	assertPanics(t, func() { NewPiecewise(1, []float64{-1}) })
+	assertPanics(t, func() { NewLinear([]float64{0}, []float64{1}) })
+	assertPanics(t, func() { NewLinear([]float64{0, 0}, []float64{1, 1}) })
+	assertPanics(t, func() { NewPeriodic(Constant(1), 0) })
+}
+
+func assertPanics(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	f()
+}
+
+func numericIntegral(f Fn, s, u float64) float64 {
+	const steps = 20_000
+	h := (u - s) / steps
+	total := 0.0
+	for i := 0; i < steps; i++ {
+		a := s + float64(i)*h
+		total += (f.Rate(a) + f.Rate(a+h)) / 2 * h
+	}
+	return total
+}

@@ -1,0 +1,188 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"crowdpricing/internal/choice"
+	"crowdpricing/internal/core"
+	"crowdpricing/internal/dist"
+	"crowdpricing/internal/rate"
+)
+
+func deadlineProblem(n, intervals int) *core.DeadlineProblem {
+	lambdas := make([]float64, intervals)
+	for i := range lambdas {
+		lambdas[i] = 1733
+	}
+	return &core.DeadlineProblem{
+		N: n, Horizon: float64(intervals) / 3, Intervals: intervals,
+		Lambdas: lambdas, Accept: choice.Paper13,
+		MinPrice: 0, MaxPrice: 30, Penalty: 400, TruncEps: 1e-9,
+	}
+}
+
+func matchedWorld(p *core.DeadlineProblem) World {
+	return World{Lambdas: p.Lambdas, Accept: p.Accept}
+}
+
+// TestMonteCarloMatchesExactEvaluation: when the world equals the training
+// model, the Monte Carlo statistics converge to the policy's exact forward
+// evaluation.
+func TestMonteCarloMatchesExactEvaluation(t *testing.T) {
+	p := deadlineProblem(40, 9)
+	pol, err := p.SolveEfficient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := pol.Evaluate()
+	st, err := RunDeadlinePolicy(pol, matchedWorld(p), 4000, dist.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(st.MeanCost-exact.ExpectedCost) > 0.03*exact.ExpectedCost {
+		t.Errorf("MC cost %v vs exact %v", st.MeanCost, exact.ExpectedCost)
+	}
+	if math.Abs(st.MeanRemaining-exact.ExpectedRemaining) > 0.2+0.3*exact.ExpectedRemaining {
+		t.Errorf("MC remaining %v vs exact %v", st.MeanRemaining, exact.ExpectedRemaining)
+	}
+}
+
+// TestRobustnessToWrongModel reproduces the Figure 9 qualitative claim: a
+// dynamic policy trained on a wrong acceptance curve still finishes (it
+// reprices adaptively), while the fixed price trained on the same wrong
+// curve fails when the market is tougher than believed.
+func TestRobustnessToWrongModel(t *testing.T) {
+	train := deadlineProblem(60, 18)
+	// The dynamic policy recovers by pushing prices above the plan, so it
+	// needs price headroom (the paper's Figure 9 runs with a generous C).
+	train.MaxPrice = 50
+	// Calibrate to high confidence under the (wrong) training model.
+	cal, err := train.CalibratePenaltyForConfidence(0.999, 1e5, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed, err := train.FixedPriceForConfidence(0.999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The true market is harsher: 50% more competing-task mass.
+	truth := choice.Logistic{S: 15, B: -0.39, M: 3000}
+	world := World{Lambdas: train.Lambdas, Accept: truth}
+	r := dist.NewRNG(2)
+	dyn, err := RunDeadlinePolicy(cal.Policy, world, 400, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fix, err := RunFixedPrice(train, fixed.Price, world, 400, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dyn.MeanRemaining > 1 {
+		t.Errorf("dynamic policy left %v tasks under model error", dyn.MeanRemaining)
+	}
+	if fix.MeanRemaining < 2 || fix.MeanRemaining < 4*dyn.MeanRemaining {
+		t.Errorf("fixed price unexpectedly robust: %v remaining vs dynamic %v",
+			fix.MeanRemaining, dyn.MeanRemaining)
+	}
+	// The dynamic policy pays more than planned to recover.
+	if dyn.MeanAvgReward <= float64(fixed.Price) {
+		t.Logf("note: dynamic avg reward %v under fixed price %d", dyn.MeanAvgReward, fixed.Price)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	p := deadlineProblem(10, 6)
+	pol, err := p.SolveEfficient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := World{Lambdas: p.Lambdas[:3], Accept: p.Accept}
+	if _, err := RunDeadlinePolicy(pol, bad, 10, dist.NewRNG(1)); err == nil {
+		t.Error("want error for mismatched world")
+	}
+	if _, err := RunDeadlinePolicy(pol, matchedWorld(p), 0, dist.NewRNG(1)); err == nil {
+		t.Error("want error for zero trials")
+	}
+	if _, err := RunFixedPrice(p, 10, bad, 10, dist.NewRNG(1)); err == nil {
+		t.Error("want error for mismatched world (fixed)")
+	}
+}
+
+// TestBudgetCompletionMeanMatchesTheory: simulated completion time of a
+// static strategy matches E[W]/λ̄ (Theorem 5 + linearity).
+func TestBudgetCompletionMeanMatchesTheory(t *testing.T) {
+	bp := &core.BudgetProblem{
+		N: 60, Budget: 800, Accept: choice.Paper13, MinPrice: 1, MaxPrice: 40,
+	}
+	s, err := bp.SolveHull()
+	if err != nil {
+		t.Fatal(err)
+	}
+	arrival := rate.Constant(5200)
+	want := s.ExpectedLatency(choice.Paper13, 5200)
+	times := BudgetCompletion(s, choice.Paper13, arrival, want*4, 300, dist.NewRNG(3))
+	mean, inf := FiniteMean(times)
+	if inf > 0 {
+		t.Fatalf("%d trials did not finish within 4x the expected time", inf)
+	}
+	if math.Abs(mean-want) > 0.1*want {
+		t.Errorf("mean completion %vh, want ≈%vh", mean, want)
+	}
+}
+
+// TestBudgetCompletionSpread: Section 5.3's observation — the completion
+// time varies widely around its mean (no upper-bound guarantee).
+func TestBudgetCompletionSpread(t *testing.T) {
+	bp := &core.BudgetProblem{
+		N: 60, Budget: 800, Accept: choice.Paper13, MinPrice: 1, MaxPrice: 40,
+	}
+	s, err := bp.SolveHull()
+	if err != nil {
+		t.Fatal(err)
+	}
+	times := SortedFinite(BudgetCompletion(s, choice.Paper13, rate.Constant(5200), 100, 300, dist.NewRNG(4)))
+	if len(times) < 290 {
+		t.Fatalf("too many unfinished trials: %d finished", len(times))
+	}
+	lo, hi := times[len(times)/20], times[len(times)-1-len(times)/20]
+	if (hi-lo)/hi < 0.1 {
+		t.Errorf("completion time suspiciously tight: p5=%v p95=%v", lo, hi)
+	}
+}
+
+func TestFiniteMeanAndSortedFinite(t *testing.T) {
+	xs := []float64{3, math.Inf(1), 1, 2}
+	mean, inf := FiniteMean(xs)
+	if mean != 2 || inf != 1 {
+		t.Errorf("FiniteMean = %v, %d", mean, inf)
+	}
+	sorted := SortedFinite(xs)
+	if len(sorted) != 3 || sorted[0] != 1 || sorted[2] != 3 {
+		t.Errorf("SortedFinite = %v", sorted)
+	}
+	m, inf2 := FiniteMean([]float64{math.Inf(1)})
+	if !math.IsInf(m, 1) || inf2 != 1 {
+		t.Errorf("all-infinite FiniteMean = %v, %d", m, inf2)
+	}
+}
+
+// TestDeterministicGivenSeed: identical seeds give identical statistics.
+func TestDeterministicGivenSeed(t *testing.T) {
+	p := deadlineProblem(20, 6)
+	pol, err := p.SolveEfficient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := RunDeadlinePolicy(pol, matchedWorld(p), 50, dist.NewRNG(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunDeadlinePolicy(pol, matchedWorld(p), 50, dist.NewRNG(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MeanCost != b.MeanCost || a.MeanRemaining != b.MeanRemaining {
+		t.Error("same-seed runs diverged")
+	}
+}

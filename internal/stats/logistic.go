@@ -1,0 +1,85 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// LogisticRegression fits a binary logistic model
+//
+//	P(y = 1 | x) = 1 / (1 + exp(−βᵀx))
+//
+// by iteratively reweighted least squares (Newton–Raphson), the estimator
+// Faridani et al. use to calibrate the conditional logit from marketplace
+// accept/reject observations. Each row of x is one observation (include a
+// constant-1 column for an intercept); y holds the binary outcomes.
+//
+// It returns ErrSingular when the Newton system degenerates (e.g. perfectly
+// separable data driving weights to zero) and an error when the iteration
+// fails to converge.
+func LogisticRegression(x [][]float64, y []bool, maxIter int, tol float64) ([]float64, error) {
+	if len(x) == 0 || len(x) != len(y) {
+		return nil, errors.New("stats: mismatched or empty sample")
+	}
+	p := len(x[0])
+	for _, row := range x {
+		if len(row) != p {
+			return nil, errors.New("stats: ragged design matrix")
+		}
+	}
+	if maxIter <= 0 {
+		maxIter = 100
+	}
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	beta := make([]float64, p)
+	for iter := 0; iter < maxIter; iter++ {
+		// Gradient g = Xᵀ(y − μ); Hessian H = XᵀWX with W = μ(1−μ).
+		grad := make([]float64, p)
+		hess := make([][]float64, p)
+		for i := range hess {
+			hess[i] = make([]float64, p)
+		}
+		for r, row := range x {
+			eta := 0.0
+			for j, v := range row {
+				eta += beta[j] * v
+			}
+			mu := 1 / (1 + math.Exp(-eta))
+			yy := 0.0
+			if y[r] {
+				yy = 1
+			}
+			wgt := mu * (1 - mu)
+			for i := 0; i < p; i++ {
+				grad[i] += row[i] * (yy - mu)
+				for j := 0; j < p; j++ {
+					hess[i][j] += wgt * row[i] * row[j]
+				}
+			}
+		}
+		// Ridge jitter keeps near-separable problems solvable.
+		for i := 0; i < p; i++ {
+			hess[i][i] += 1e-9
+		}
+		step, err := SolveLinear(hess, grad)
+		if err != nil {
+			return nil, err
+		}
+		maxStep := 0.0
+		for i := range beta {
+			beta[i] += step[i]
+			if s := math.Abs(step[i]); s > maxStep {
+				maxStep = s
+			}
+		}
+		if maxStep < tol {
+			return beta, nil
+		}
+		if maxStep > 1e6 {
+			return nil, errors.New("stats: logistic regression diverged (separable data?)")
+		}
+	}
+	return beta, nil
+}

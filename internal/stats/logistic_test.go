@@ -1,0 +1,67 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// lcg is a tiny deterministic generator for test data.
+type lcg uint64
+
+func (l *lcg) next() float64 {
+	*l = *l*6364136223846793005 + 1442695040888963407
+	return float64(uint64(*l)>>11) / float64(1<<53)
+}
+
+func TestLogisticRegressionRecoversCoefficients(t *testing.T) {
+	truth := []float64{0.8, -2.0} // slope, intercept
+	var x [][]float64
+	var y []bool
+	g := lcg(7)
+	for i := 0; i < 20_000; i++ {
+		xi := g.next() * 10
+		eta := truth[0]*xi + truth[1]
+		p := 1 / (1 + math.Exp(-eta))
+		x = append(x, []float64{xi, 1})
+		y = append(y, g.next() < p)
+	}
+	beta, err := LogisticRegression(x, y, 200, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range truth {
+		if math.Abs(beta[i]-truth[i]) > 0.1 {
+			t.Errorf("beta[%d] = %v, want %v", i, beta[i], truth[i])
+		}
+	}
+}
+
+func TestLogisticRegressionBalancedIntercept(t *testing.T) {
+	// Pure intercept model with 30% positives: beta = logit(0.3).
+	var x [][]float64
+	var y []bool
+	for i := 0; i < 1000; i++ {
+		x = append(x, []float64{1})
+		y = append(y, i%10 < 3)
+	}
+	beta, err := LogisticRegression(x, y, 200, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Log(0.3 / 0.7)
+	if math.Abs(beta[0]-want) > 1e-6 {
+		t.Errorf("intercept %v, want %v", beta[0], want)
+	}
+}
+
+func TestLogisticRegressionValidation(t *testing.T) {
+	if _, err := LogisticRegression(nil, nil, 10, 1e-8); err == nil {
+		t.Error("want error for empty sample")
+	}
+	if _, err := LogisticRegression([][]float64{{1, 2}, {1}}, []bool{true, false}, 10, 1e-8); err == nil {
+		t.Error("want error for ragged matrix")
+	}
+	if _, err := LogisticRegression([][]float64{{1}}, []bool{true, false}, 10, 1e-8); err == nil {
+		t.Error("want error for length mismatch")
+	}
+}

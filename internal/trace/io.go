@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV writes the trace counts as (bucket_index, hour, count) rows with
+// a header, the interchange format for external plotting.
+func (tr *Trace) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"bucket", "hour", "count"}); err != nil {
+		return err
+	}
+	for i, c := range tr.Counts {
+		rec := []string{
+			strconv.Itoa(i),
+			strconv.FormatFloat(float64(i)*BucketWidth, 'f', 4, 64),
+			strconv.Itoa(c),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV reads counts back from the WriteCSV format. The Truth field of
+// the returned trace is nil-equivalent (a zero-config rate); only Counts is
+// restored.
+func ReadCSV(r io.Reader) (*Trace, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("trace: empty CSV")
+	}
+	var counts []int
+	for i, row := range rows[1:] {
+		if len(row) != 3 {
+			return nil, fmt.Errorf("trace: row %d has %d fields, want 3", i+1, len(row))
+		}
+		c, err := strconv.Atoi(row[2])
+		if err != nil {
+			return nil, fmt.Errorf("trace: row %d count: %w", i+1, err)
+		}
+		counts = append(counts, c)
+	}
+	return &Trace{Counts: counts}, nil
+}
+
+// traceJSON is the JSON wire form of a trace.
+type traceJSON struct {
+	BucketWidthHours float64 `json:"bucket_width_hours"`
+	Counts           []int   `json:"counts"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (tr *Trace) MarshalJSON() ([]byte, error) {
+	return json.Marshal(traceJSON{BucketWidthHours: BucketWidth, Counts: tr.Counts})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (tr *Trace) UnmarshalJSON(data []byte) error {
+	var tj traceJSON
+	if err := json.Unmarshal(data, &tj); err != nil {
+		return err
+	}
+	tr.Counts = tj.Counts
+	return nil
+}

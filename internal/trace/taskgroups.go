@@ -1,0 +1,118 @@
+package trace
+
+import (
+	"math"
+
+	"crowdpricing/internal/dist"
+)
+
+// TaskType labels the two dominant MTurk task families of Section 5.1.2.
+type TaskType int
+
+// Task families analysed in Table 2 and Figure 6.
+const (
+	Categorization TaskType = iota
+	DataCollection
+)
+
+// String returns the task type name.
+func (t TaskType) String() string {
+	switch t {
+	case Categorization:
+		return "Categorization"
+	case DataCollection:
+		return "Data Collection"
+	default:
+		return "Unknown"
+	}
+}
+
+// TaskGroup is one HIT group snapshot in the style of mturk-tracker: a task
+// family, the per-task wage rate, the average per-task duration, and the
+// observed completed workload.
+type TaskGroup struct {
+	Type TaskType
+	// WagePerSec is the reward divided by average completion time ($/sec).
+	WagePerSec float64
+	// AvgTaskSeconds is the manually estimated time per task.
+	AvgTaskSeconds float64
+	// WorkloadPerHour is completed tasks/hour × seconds/task (sec/h), the
+	// bundling-invariant workload measure of Figure 6.
+	WorkloadPerHour float64
+}
+
+// GroupModel holds the generative parameters tying wage to workload:
+// ln(workload/hour) = Alpha·wage/sec + Bias + noise, Equation-(2)-style
+// utilities with Table 2's fitted values as ground truth.
+type GroupModel struct {
+	Alpha float64 // shared linear coefficient (≈748–809 in Table 2)
+	Bias  map[TaskType]float64
+	Noise float64 // std-dev of the log-workload noise
+}
+
+// PaperGroupModel reproduces Table 2's parameters: linear coefficients 748
+// and 809 (approximately shared) and biases 3.66 / 6.28.
+func PaperGroupModel() GroupModel {
+	return GroupModel{
+		Alpha: 780, // a single shared coefficient between the paper's 748 and 809
+		Bias: map[TaskType]float64{
+			Categorization: 3.66,
+			DataCollection: 6.28,
+		},
+		Noise: 0.35,
+	}
+}
+
+// GenerateTaskGroups synthesizes n task group snapshots per type with wage
+// rates spread over the observed MTurk range (roughly $0.0002–$0.008 per
+// second) and workloads drawn from the model.
+func GenerateTaskGroups(m GroupModel, nPerType int, r *dist.RNG) []TaskGroup {
+	var out []TaskGroup
+	for _, tt := range []TaskType{Categorization, DataCollection} {
+		for i := 0; i < nPerType; i++ {
+			wage := math.Exp(r.Uniform(math.Log(0.0002), math.Log(0.008)))
+			logW := m.Alpha*wage + m.Bias[tt] + r.Normal(0, m.Noise)
+			secs := 30.0
+			if tt == DataCollection {
+				secs = 120
+			}
+			out = append(out, TaskGroup{
+				Type:            tt,
+				WagePerSec:      wage,
+				AvgTaskSeconds:  secs,
+				WorkloadPerHour: math.Exp(logW),
+			})
+		}
+	}
+	return out
+}
+
+// FitGroupModel recovers the per-type linear coefficient and bias by least
+// squares on ln(workload) against wage, the Table 2 regression.
+func FitGroupModel(groups []TaskGroup) map[TaskType]struct{ Alpha, Bias float64 } {
+	byType := map[TaskType][][2]float64{}
+	for _, g := range groups {
+		if g.WorkloadPerHour <= 0 {
+			continue
+		}
+		byType[g.Type] = append(byType[g.Type], [2]float64{g.WagePerSec, math.Log(g.WorkloadPerHour)})
+	}
+	out := map[TaskType]struct{ Alpha, Bias float64 }{}
+	for tt, pts := range byType {
+		var sx, sy float64
+		n := float64(len(pts))
+		for _, p := range pts {
+			sx += p[0]
+			sy += p[1]
+		}
+		mx, my := sx/n, sy/n
+		var sxx, sxy float64
+		for _, p := range pts {
+			sxx += (p[0] - mx) * (p[0] - mx)
+			sxy += (p[0] - mx) * (p[1] - my)
+		}
+		alpha := sxy / sxx
+		out[tt] = struct{ Alpha, Bias float64 }{Alpha: alpha, Bias: my - alpha*mx}
+	}
+	return out
+}

@@ -1,0 +1,91 @@
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"crowdpricing/internal/dist"
+)
+
+func TestGenerateTaskGroupsShape(t *testing.T) {
+	r := dist.NewRNG(1)
+	groups := GenerateTaskGroups(PaperGroupModel(), 50, r)
+	if len(groups) != 100 {
+		t.Fatalf("got %d groups, want 100", len(groups))
+	}
+	nCat, nDC := 0, 0
+	for _, g := range groups {
+		if g.WagePerSec <= 0 || g.WorkloadPerHour <= 0 {
+			t.Fatalf("non-positive fields: %+v", g)
+		}
+		switch g.Type {
+		case Categorization:
+			nCat++
+		case DataCollection:
+			nDC++
+		}
+	}
+	if nCat != 50 || nDC != 50 {
+		t.Errorf("type split %d/%d, want 50/50", nCat, nDC)
+	}
+}
+
+// TestFitGroupModelRecoversTable2 reproduces the Table 2 regression: the
+// fitted per-type coefficients approximate the generative ones (≈780
+// shared) and the Data Collection bias clearly exceeds Categorization's.
+func TestFitGroupModelRecoversTable2(t *testing.T) {
+	r := dist.NewRNG(2)
+	m := PaperGroupModel()
+	groups := GenerateTaskGroups(m, 200, r)
+	fit := FitGroupModel(groups)
+	for _, tt := range []TaskType{Categorization, DataCollection} {
+		f := fit[tt]
+		if math.Abs(f.Alpha-m.Alpha) > 0.15*m.Alpha {
+			t.Errorf("%v: alpha %v, want ≈%v", tt, f.Alpha, m.Alpha)
+		}
+		if math.Abs(f.Bias-m.Bias[tt]) > 0.5 {
+			t.Errorf("%v: bias %v, want ≈%v", tt, f.Bias, m.Bias[tt])
+		}
+	}
+	if fit[DataCollection].Bias <= fit[Categorization].Bias {
+		t.Error("Data Collection bias should exceed Categorization bias (worker preference)")
+	}
+}
+
+func TestTaskTypeString(t *testing.T) {
+	if Categorization.String() != "Categorization" || DataCollection.String() != "Data Collection" {
+		t.Error("bad task type names")
+	}
+	if TaskType(99).String() != "Unknown" {
+		t.Error("bad unknown name")
+	}
+}
+
+// TestWagePositivelyCorrelatesWorkload is the qualitative Figure 6 claim.
+func TestWagePositivelyCorrelatesWorkload(t *testing.T) {
+	r := dist.NewRNG(3)
+	groups := GenerateTaskGroups(PaperGroupModel(), 100, r)
+	// Compare mean log workload of the top and bottom wage halves per type.
+	for _, tt := range []TaskType{Categorization, DataCollection} {
+		var lowSum, highSum float64
+		var lowN, highN int
+		for _, g := range groups {
+			if g.Type != tt {
+				continue
+			}
+			if g.WagePerSec < 0.002 {
+				lowSum += math.Log(g.WorkloadPerHour)
+				lowN++
+			} else {
+				highSum += math.Log(g.WorkloadPerHour)
+				highN++
+			}
+		}
+		if lowN == 0 || highN == 0 {
+			t.Fatalf("%v: degenerate wage split", tt)
+		}
+		if highSum/float64(highN) <= lowSum/float64(lowN) {
+			t.Errorf("%v: workload not increasing in wage", tt)
+		}
+	}
+}
