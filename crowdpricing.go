@@ -17,6 +17,24 @@
 // outside the repository see one import path; the implementation lives in
 // the internal packages (core, choice, rate, nhpp, market, …), and the
 // examples/ directory shows complete workflows.
+//
+// # Building and testing
+//
+// The module is plain Go with no dependencies outside the standard library:
+//
+//	go build ./...   # compile every package, command, and example
+//	go test ./...    # unit, property, and statistical tests
+//	go vet ./...     # static checks (also run by CI)
+//
+// The deadline solvers are benchmarked in internal/core; compare the serial
+// backward induction against the worker-pool fan-out with:
+//
+//	go test ./internal/core/ -run XXX -bench 'PaperScale|Large'
+//
+// All simulation randomness flows through internal/dist's seeded generator,
+// so every test and figure is reproducible run-to-run; the MDP solvers are
+// parallel by default (see DeadlineProblem.Workers) and produce policies
+// bit-identical to the serial path at any worker count.
 package crowdpricing
 
 import (

@@ -1,0 +1,3 @@
+module crowdpricing
+
+go 1.24

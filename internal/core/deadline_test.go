@@ -385,3 +385,57 @@ func TestDynamicAdaptsPricesToProgress(t *testing.T) {
 			pol.Price[lastT][p.N], pol.Price[lastT][1])
 	}
 }
+
+// TestParallelMatchesSerial: the worker-pool fan-out must be bit-identical
+// to the serial backward induction — same Price tables and exactly equal
+// (not just close) Opt values, for both solvers, across worker counts.
+func TestParallelMatchesSerial(t *testing.T) {
+	for _, dims := range []struct{ n, intervals int }{{40, 9}, {97, 13}} {
+		serial := *testProblem(dims.n, dims.intervals)
+		serial.Workers = 1
+		wantSimple, err := serial.SolveSimple()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantEff, err := serial.SolveEfficient()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{0, 2, 3, 8, 64} {
+			par := *testProblem(dims.n, dims.intervals)
+			par.Workers = workers
+			gotSimple, err := par.SolveSimple()
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotEff, err := par.SolveEfficient()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, c := range []struct {
+				name      string
+				want, got *DeadlinePolicy
+			}{
+				{"SolveSimple", wantSimple, gotSimple},
+				{"SolveEfficient", wantEff, gotEff},
+			} {
+				for tt := range c.want.Price {
+					for n := range c.want.Price[tt] {
+						if c.got.Price[tt][n] != c.want.Price[tt][n] {
+							t.Fatalf("%s workers=%d: Price[%d][%d] = %d, serial %d",
+								c.name, workers, tt, n, c.got.Price[tt][n], c.want.Price[tt][n])
+						}
+					}
+				}
+				for tt := range c.want.Opt {
+					for n := range c.want.Opt[tt] {
+						if c.got.Opt[tt][n] != c.want.Opt[tt][n] {
+							t.Fatalf("%s workers=%d: Opt[%d][%d] = %v, serial %v (not bit-identical)",
+								c.name, workers, tt, n, c.got.Opt[tt][n], c.want.Opt[tt][n])
+						}
+					}
+				}
+			}
+		}
+	}
+}

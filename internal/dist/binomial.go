@@ -1,0 +1,108 @@
+package dist
+
+import "math"
+
+// Binomial is a Binomial(N, P) distribution: the number of successes in N
+// independent trials with success probability P. The simulators use it for
+// "how many of this interval's arrivals accepted the posted price".
+type Binomial struct {
+	N int
+	P float64
+}
+
+// Sample draws from the distribution: CDF inversion when the expected count
+// is small, Hörmann's BTRS transformed rejection otherwise. Both paths
+// exploit the symmetry Bin(n, p) = n − Bin(n, 1−p) to keep p <= 1/2.
+func (d Binomial) Sample(r *RNG) int {
+	n := d.N
+	switch {
+	case n <= 0 || d.P <= 0:
+		return 0
+	case d.P >= 1:
+		return n
+	}
+	p := d.P
+	flipped := false
+	if p > 0.5 {
+		p = 1 - p
+		flipped = true
+	}
+	var k int
+	if float64(n)*p < 10 {
+		k = binomialInversion(n, p, r)
+	} else {
+		k = binomialBTRS(n, p, r)
+	}
+	if flipped {
+		return n - k
+	}
+	return k
+}
+
+// binomialInversion walks the CDF from zero using the multiplicative PMF
+// recurrence. Expected work O(np); requires p <= 1/2.
+func binomialInversion(n int, p float64, r *RNG) int {
+	q := 1 - p
+	s := p / q
+	// pmf(0) = q^n; for p <= 1/2 and np < 10 this stays well above underflow.
+	f := math.Pow(q, float64(n))
+	cum := f
+	u := r.Float64()
+	k := 0
+	for u > cum && k < n {
+		f *= s * float64(n-k) / float64(k+1)
+		k++
+		cum += f
+		if f <= 0 {
+			break
+		}
+	}
+	return k
+}
+
+// binomialBTRS is the transformed-rejection binomial sampler of Hörmann
+// (1993), "The generation of binomial random variates" (algorithm BTRS).
+// Requires p <= 1/2 and np >= 10; O(1) expected draws per sample.
+func binomialBTRS(n int, p float64, r *RNG) int {
+	q := 1 - p
+	nf := float64(n)
+	spq := math.Sqrt(nf * p * q)
+	b := 1.15 + 2.53*spq
+	a := -0.0873 + 0.0248*b + 0.01*p
+	c := nf*p + 0.5
+	vr := 0.92 - 4.2/b
+	urvr := 0.86 * vr
+	alpha := (2.83 + 5.1/b) * spq
+	lpq := math.Log(p / q)
+	m := math.Floor((nf + 1) * p) // mode
+	lgM, _ := math.Lgamma(m + 1)
+	lgNM, _ := math.Lgamma(nf - m + 1)
+	h := lgM + lgNM
+	for {
+		v := r.Float64()
+		var u float64
+		if v <= urvr {
+			// Fast acceptance region: no further uniforms needed.
+			u = v/vr - 0.43
+			return int(math.Floor((2*a/(0.5-math.Abs(u))+b)*u + c))
+		}
+		if v >= vr {
+			u = r.Float64() - 0.5
+		} else {
+			u = v/vr - 0.93
+			u = math.Copysign(0.5, u) - u
+			v = r.Float64() * vr
+		}
+		us := 0.5 - math.Abs(u)
+		k := math.Floor((2*a/us+b)*u + c)
+		if k < 0 || k > nf {
+			continue
+		}
+		v = v * alpha / (a/(us*us) + b)
+		lgK, _ := math.Lgamma(k + 1)
+		lgNK, _ := math.Lgamma(nf - k + 1)
+		if math.Log(v) <= h-lgK-lgNK+(k-m)*lpq {
+			return int(k)
+		}
+	}
+}

@@ -1,0 +1,228 @@
+package dist
+
+import (
+	"math"
+	"testing"
+)
+
+// moments draws n samples and returns their empirical mean and variance.
+func moments(n int, draw func() float64) (mean, variance float64) {
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		x := draw()
+		sum += x
+		sumSq += x * x
+	}
+	mean = sum / float64(n)
+	variance = sumSq/float64(n) - mean*mean
+	return mean, variance
+}
+
+// checkMoments asserts the empirical mean and variance are within tol
+// relative error of the distribution's true moments.
+func checkMoments(t *testing.T, name string, gotMean, gotVar, wantMean, wantVar, tol float64) {
+	t.Helper()
+	if math.Abs(gotMean-wantMean) > tol*math.Max(wantMean, 1) {
+		t.Errorf("%s: mean %v, want %v ± %v%%", name, gotMean, wantMean, tol*100)
+	}
+	if math.Abs(gotVar-wantVar) > 2*tol*math.Max(wantVar, 1) {
+		t.Errorf("%s: variance %v, want %v ± %v%%", name, gotVar, wantVar, 2*tol*100)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at draw %d", i)
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	a = NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("seeds 42 and 43 collided on %d of 1000 draws", same)
+	}
+}
+
+func TestSamplerDeterminism(t *testing.T) {
+	run := func(seed int64) []float64 {
+		r := NewRNG(seed)
+		out := make([]float64, 0, 400)
+		for i := 0; i < 100; i++ {
+			out = append(out,
+				float64(Poisson{Lambda: 97.5}.Sample(r)),
+				float64(Binomial{N: 250, P: 0.37}.Sample(r)),
+				float64(Geometric{P: 0.08}.Sample(r)),
+				Exponential{Rate: 3.5}.Sample(r),
+			)
+		}
+		return out
+	}
+	a, b := run(7), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sample %d: %v != %v under the same seed", i, a[i], b[i])
+		}
+	}
+}
+
+func TestUniformBernoulliIntn(t *testing.T) {
+	r := NewRNG(1)
+	mean, variance := moments(200000, func() float64 { return r.Uniform(2, 6) })
+	checkMoments(t, "Uniform(2,6)", mean, variance, 4, 16.0/12, 0.02)
+
+	hits := 0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	if p := float64(hits) / n; math.Abs(p-0.3) > 0.01 {
+		t.Errorf("Bernoulli(0.3): rate %v", p)
+	}
+	if r.Bernoulli(0) || !r.Bernoulli(1) {
+		t.Error("Bernoulli endpoints wrong")
+	}
+
+	counts := make([]int, 10)
+	for i := 0; i < 100000; i++ {
+		counts[r.Intn(10)]++
+	}
+	for k, c := range counts {
+		if c < 9000 || c > 11000 {
+			t.Errorf("Intn(10): bucket %d has %d of 100000", k, c)
+		}
+	}
+}
+
+func TestNormalGumbel(t *testing.T) {
+	r := NewRNG(2)
+	mean, variance := moments(200000, func() float64 { return r.Normal(5, 2) })
+	checkMoments(t, "Normal(5,2)", mean, variance, 5, 4, 0.02)
+
+	// Gumbel(0,1): mean γ (Euler–Mascheroni), variance π²/6.
+	mean, variance = moments(200000, func() float64 { return r.Gumbel() })
+	checkMoments(t, "Gumbel", mean, variance, 0.5772156649, math.Pi*math.Pi/6, 0.02)
+}
+
+func TestPoissonMoments(t *testing.T) {
+	r := NewRNG(3)
+	// Spans the inversion (λ<10) and PTRS (λ>=10) regimes, including a mean
+	// past exp(-745)'s underflow point where naive PMF math would break.
+	for _, lambda := range []float64{0.3, 2, 9.5, 10.5, 42, 500, 5000, 1e5} {
+		draw := func() float64 { return float64(Poisson{Lambda: lambda}.Sample(r)) }
+		mean, variance := moments(120000, draw)
+		checkMoments(t, "Poisson", mean, variance, lambda, lambda, 0.02)
+	}
+	if (Poisson{Lambda: 0}).Sample(r) != 0 {
+		t.Error("Poisson(0) must be 0")
+	}
+}
+
+func TestPoissonPMFTail(t *testing.T) {
+	for _, lambda := range []float64{0.5, 4, 25, 900} {
+		d := Poisson{Lambda: lambda}
+		sum := 0.0
+		hi := int(lambda + 12*math.Sqrt(lambda) + 10)
+		for k := 0; k <= hi; k++ {
+			sum += d.PMF(k)
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("λ=%v: PMF sums to %v", lambda, sum)
+		}
+		// Tail is the complement of the head sum at a few checkpoints.
+		for _, n := range []int{1, int(lambda) + 1, hi / 2} {
+			head := 0.0
+			for k := 0; k < n; k++ {
+				head += d.PMF(k)
+			}
+			if got, want := d.Tail(n), 1-head; math.Abs(got-want) > 1e-9 {
+				t.Errorf("λ=%v: Tail(%d) = %v, want %v", lambda, n, got, want)
+			}
+		}
+	}
+	// Deep tails must not cancel to zero.
+	if got := (Poisson{Lambda: 5}).Tail(40); got <= 0 || got > 1e-20 {
+		t.Errorf("Pois(5) Tail(40) = %v, want a tiny positive mass", got)
+	}
+}
+
+func TestPoissonTruncationPoint(t *testing.T) {
+	for _, lambda := range []float64{0.5, 7, 300, 2000} {
+		for _, eps := range []float64{1e-6, 1e-9} {
+			d := Poisson{Lambda: lambda}
+			s0 := d.TruncationPoint(eps)
+			if s0 < 1 {
+				t.Fatalf("λ=%v: s0 = %d", lambda, s0)
+			}
+			if tail := d.Tail(s0); tail > eps {
+				t.Errorf("λ=%v ε=%v: Tail(s0=%d) = %v exceeds ε", lambda, eps, s0, tail)
+			}
+			if s0 > 1 {
+				if tail := d.Tail(s0 - 1); tail <= eps {
+					t.Errorf("λ=%v ε=%v: s0=%d not minimal, Tail(s0-1) = %v", lambda, eps, s0, tail)
+				}
+			}
+		}
+	}
+	if (Poisson{Lambda: 0}).TruncationPoint(1e-9) != 1 {
+		t.Error("λ=0 should truncate at 1")
+	}
+}
+
+func TestBinomialMoments(t *testing.T) {
+	r := NewRNG(4)
+	cases := []Binomial{
+		{N: 10, P: 0.05},  // inversion, small np
+		{N: 40, P: 0.2},   // inversion boundary
+		{N: 40, P: 0.8},   // flipped symmetry
+		{N: 300, P: 0.37}, // BTRS
+		{N: 300, P: 0.63}, // BTRS, flipped
+		{N: 5000, P: 0.5}, // large BTRS
+	}
+	for _, d := range cases {
+		draw := func() float64 { return float64(d.Sample(r)) }
+		mean, variance := moments(120000, draw)
+		n, p := float64(d.N), d.P
+		checkMoments(t, "Binomial", mean, variance, n*p, n*p*(1-p), 0.02)
+	}
+	for i := 0; i < 100; i++ {
+		if k := (Binomial{N: 7, P: 0.5}).Sample(r); k < 0 || k > 7 {
+			t.Fatalf("Binomial(7,.5) out of support: %d", k)
+		}
+	}
+	if (Binomial{N: 5, P: 0}).Sample(r) != 0 || (Binomial{N: 5, P: 1}).Sample(r) != 5 {
+		t.Error("Binomial endpoints wrong")
+	}
+}
+
+func TestGeometricMoments(t *testing.T) {
+	r := NewRNG(5)
+	for _, p := range []float64{0.9, 0.5, 0.08, 0.004} {
+		draw := func() float64 { return float64(Geometric{P: p}.Sample(r)) }
+		mean, variance := moments(150000, draw)
+		checkMoments(t, "Geometric", mean, variance, (1-p)/p, (1-p)/(p*p), 0.03)
+	}
+	if (Geometric{P: 1}).Sample(r) != 0 {
+		t.Error("Geometric(1) must be 0")
+	}
+}
+
+func TestExponentialMoments(t *testing.T) {
+	r := NewRNG(6)
+	for _, rate := range []float64{0.25, 1, 40} {
+		draw := func() float64 { return Exponential{Rate: rate}.Sample(r) }
+		mean, variance := moments(150000, draw)
+		checkMoments(t, "Exponential", mean, variance, 1/rate, 1/(rate*rate), 0.02)
+	}
+	if !math.IsInf(Exponential{Rate: 0}.Sample(r), 1) {
+		t.Error("Exponential(0) must be +Inf")
+	}
+}

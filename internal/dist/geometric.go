@@ -1,0 +1,43 @@
+package dist
+
+import "math"
+
+// Geometric is the number of failures before the first success in Bernoulli
+// trials with success probability P (support 0, 1, 2, …). Simulators add 1
+// to a draw to get "arrivals consumed until one accepted".
+type Geometric struct {
+	P float64
+}
+
+// Sample draws by inverting the geometric CDF: ⌊log U / log(1−P)⌋. This is
+// exact for any P in (0, 1) and O(1) regardless of how small P is — the
+// regime that matters when a price is far below the acceptance curve's knee.
+func (d Geometric) Sample(r *RNG) int {
+	if d.P >= 1 {
+		return 0
+	}
+	if d.P <= 0 {
+		return math.MaxInt32 // no success ever; finite sentinel keeps callers' +1 arithmetic safe
+	}
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return int(math.Log(u) / math.Log1p(-d.P))
+}
+
+// Exponential is an exponential distribution with the given Rate (mean
+// 1/Rate). The non-homogeneous Poisson thinning loop uses it for
+// inter-arrival gaps at the envelope rate.
+type Exponential struct {
+	Rate float64
+}
+
+// Sample draws 1/Rate times a unit exponential (ziggurat via the underlying
+// generator). Rate <= 0 returns +Inf: an arrival that never happens.
+func (d Exponential) Sample(r *RNG) float64 {
+	if d.Rate <= 0 {
+		return math.Inf(1)
+	}
+	return r.ExpFloat64() / d.Rate
+}

@@ -122,12 +122,26 @@ func TestFigure12Shapes(t *testing.T) {
 	if float64(h10) < 4*float64(h30) {
 		t.Errorf("HITs at 6h: bundle 10 (%d) not ≥4× bundle 30 (%d)", h10, h30)
 	}
-	// Work completion: bundle 50 beats 30 and 40 (Figure 12(b)).
-	w30 := results[30].TasksCompleted
-	w40 := results[40].TasksCompleted
-	w50 := results[50].TasksCompleted
+	// Work completion: bundle 50 beats 30 and 40 (Figure 12(b)). A single
+	// run is too noisy to order the large bundles reliably, so average the
+	// completed work over a fixed batch of seeds.
+	avgWork := func(g int) float64 {
+		const runs = 10
+		total := results[g].TasksCompleted // seed 100+g already ran above
+		for k := int64(1); k < runs; k++ {
+			res, err := RunFixed(cfg, g, int64(100+g)+k*1000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += res.TasksCompleted
+		}
+		return float64(total) / runs
+	}
+	w30 := avgWork(30)
+	w40 := avgWork(40)
+	w50 := avgWork(50)
 	if w50 <= w30 || w50 <= w40 {
-		t.Errorf("work completed: 50→%d not above 30→%d and 40→%d", w50, w30, w40)
+		t.Errorf("mean work completed: 50→%v not above 30→%v and 40→%v", w50, w30, w40)
 	}
 }
 
