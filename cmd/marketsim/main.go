@@ -1,6 +1,15 @@
 // Command marketsim runs the Mechanical-Turk-style marketplace simulator:
 // five fixed bundle-size trials followed by the MDP-planned dynamic trial,
 // printing hourly completion curves, costs, accuracy, and retention.
+//
+// Flags:
+//
+//	-seed int
+//	      random seed (default 1)
+//	-tasks int
+//	      total unit tasks (default 5000)
+//	-hours float
+//	      experiment horizon in hours (default 14)
 package main
 
 import (
@@ -16,6 +25,12 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("marketsim: ")
+	flag.Usage = func() {
+		o := flag.CommandLine.Output()
+		fmt.Fprintf(o, "usage: marketsim [flags]\n\n")
+		fmt.Fprintf(o, "Run the Section 5.4 live-experiment protocol on the marketplace simulator.\n\nflags:\n")
+		flag.PrintDefaults()
+	}
 	seed := flag.Int64("seed", 1, "random seed")
 	tasks := flag.Int("tasks", 5000, "total unit tasks")
 	horizon := flag.Float64("hours", 14, "experiment horizon in hours")

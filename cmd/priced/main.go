@@ -1,0 +1,97 @@
+// Command priced runs the pricing daemon: a long-lived HTTP service that
+// solves the paper's pricing problems on demand and serves repeated or
+// concurrent identical problems from a shared policy cache. Cold requests
+// run the full parallel solver; warm requests return in microseconds; N
+// simultaneous identical requests cost exactly one solve.
+//
+// Start it, then POST problems as JSON:
+//
+//	priced -addr :8080 &
+//	curl -s localhost:8080/v1/solve/budget -d '{
+//	        "n": 100, "budget": 2500,
+//	        "accept": {"s": 15, "b": -0.39, "m": 2000},
+//	        "min_price": 1, "max_price": 50}'
+//
+// Endpoints: POST /v1/solve/deadline, /v1/solve/budget, /v1/solve/tradeoff,
+// /v1/solve/batch; GET /healthz, /metrics (Prometheus text format).
+//
+// Flags:
+//
+//	-addr string
+//	      listen address (default ":8080")
+//	-cache int
+//	      maximum number of cached policies (default 1024)
+//	-workers int
+//	      goroutines per cold deadline solve; 0 means all CPUs (default 0)
+//	-timeout duration
+//	      per-request solve timeout; timed-out solves keep running and warm
+//	      the cache for the retry (default 2m0s)
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"crowdpricing/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("priced: ")
+	flag.Usage = func() {
+		o := flag.CommandLine.Output()
+		fmt.Fprintf(o, "usage: priced [flags]\n\n")
+		fmt.Fprintf(o, "Run the crowd-pricing policy daemon (HTTP/JSON, cached solves).\n\nflags:\n")
+		flag.PrintDefaults()
+	}
+	addr := flag.String("addr", ":8080", "listen address")
+	cacheSize := flag.Int("cache", server.DefaultCacheSize, "maximum number of cached policies")
+	workers := flag.Int("workers", 0, "goroutines per cold deadline solve; 0 means all CPUs")
+	timeout := flag.Duration("timeout", server.DefaultRequestTimeout, "per-request solve timeout")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		log.Fatalf("unexpected arguments %q; priced takes flags only", flag.Args())
+	}
+
+	srv := server.New(server.Options{
+		CacheSize:      *cacheSize,
+		SolverWorkers:  *workers,
+		RequestTimeout: *timeout,
+	})
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	shutdownDone := make(chan struct{})
+	go func() {
+		defer close(shutdownDone)
+		<-ctx.Done()
+		log.Print("shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(shutdownCtx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	}()
+
+	log.Printf("listening on %s (cache %d policies, timeout %s)", *addr, *cacheSize, *timeout)
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	// ListenAndServe returns as soon as the listener closes; wait for
+	// Shutdown to finish draining in-flight requests before exiting.
+	stop()
+	<-shutdownDone
+}

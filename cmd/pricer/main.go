@@ -8,6 +8,25 @@
 // Budget mode prints the optimal static two-price allocation:
 //
 //	pricer -mode budget -n 200 -budget 2500
+//
+// Flags:
+//
+//	-mode string
+//	      deadline or budget (default "deadline")
+//	-n int
+//	      number of tasks (default 200)
+//	-hours float
+//	      deadline horizon in hours, deadline mode (default 24)
+//	-interval int
+//	      decision interval in minutes, deadline mode (default 20)
+//	-confidence float
+//	      completion probability target, deadline mode (default 0.999)
+//	-budget int
+//	      total budget in cents, budget mode (default 2500)
+//	-export string
+//	      write the solved deadline policy as JSON to this path
+//	-load string
+//	      load a previously exported deadline policy instead of solving
 package main
 
 import (
@@ -25,6 +44,12 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("pricer: ")
+	flag.Usage = func() {
+		o := flag.CommandLine.Output()
+		fmt.Fprintf(o, "usage: pricer [flags]\n\n")
+		fmt.Fprintf(o, "Compute deadline or budget pricing strategies for a task batch.\n\nflags:\n")
+		flag.PrintDefaults()
+	}
 	mode := flag.String("mode", "deadline", "deadline or budget")
 	n := flag.Int("n", 200, "number of tasks")
 	hours := flag.Float64("hours", 24, "deadline horizon in hours (deadline mode)")

@@ -1,6 +1,21 @@
 // Command tracegen generates the synthetic mturk-tracker arrival trace and
 // writes it as CSV (default) or JSON, for plotting or for feeding other
 // tools. The same generator backs every experiment in this repository.
+//
+// Flags:
+//
+//	-format string
+//	      csv or json (default "csv")
+//	-o string
+//	      output path (default stdout)
+//	-seed int
+//	      random seed (default from trace.DefaultConfig)
+//	-base float
+//	      base arrival rate per hour (default from trace.DefaultConfig)
+//	-holiday float
+//	      fractional rate drop on day 1 (default from trace.DefaultConfig)
+//	-summary
+//	      print per-day totals instead of the raw trace
 package main
 
 import (
@@ -16,6 +31,12 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("tracegen: ")
+	flag.Usage = func() {
+		o := flag.CommandLine.Output()
+		fmt.Fprintf(o, "usage: tracegen [flags]\n\n")
+		fmt.Fprintf(o, "Generate the synthetic mturk-tracker arrival trace as CSV or JSON.\n\nflags:\n")
+		flag.PrintDefaults()
+	}
 	format := flag.String("format", "csv", "csv or json")
 	out := flag.String("o", "", "output path (default stdout)")
 	seed := flag.Int64("seed", trace.DefaultConfig().Seed, "random seed")

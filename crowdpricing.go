@@ -18,6 +18,17 @@
 // the internal packages (core, choice, rate, nhpp, market, …), and the
 // examples/ directory shows complete workflows.
 //
+// # Pricing as a service
+//
+// The solvers also run as a long-lived daemon (cmd/priced) exposing an
+// HTTP/JSON API with an LRU cache of solved policies keyed by a canonical
+// content hash of the problem: cold solves run at full parallel speed, warm
+// solves return in microseconds, and concurrent identical requests are
+// deduplicated onto a single solve. NewPricingServer embeds the service in
+// another process; NewPricingClient talks to a running daemon; the request
+// and response types (DeadlineRequest, BudgetRequest, TradeoffRequest,
+// BatchRequest, SolveResponse, …) are re-exported here.
+//
 // # Building and testing
 //
 // The module is plain Go with no dependencies outside the standard library:
@@ -41,6 +52,7 @@ import (
 	"crowdpricing/internal/choice"
 	"crowdpricing/internal/core"
 	"crowdpricing/internal/rate"
+	"crowdpricing/internal/server"
 )
 
 // DeadlineProblem is a fixed-deadline pricing instance (Section 3).
@@ -79,3 +91,54 @@ func ConstantRate(perHour float64) RateFn { return rate.Constant(perHour) }
 func IntervalMeans(fn RateFn, horizon float64, n int) []float64 {
 	return rate.IntervalMeans(fn, horizon, n)
 }
+
+// PricingServer is the embeddable pricing service behind cmd/priced: an
+// HTTP/JSON solver frontend with a fingerprint-keyed LRU policy cache and
+// singleflight deduplication of concurrent identical requests.
+type PricingServer = server.Server
+
+// PricingServerOptions configures a PricingServer; the zero value is
+// production-ready.
+type PricingServerOptions = server.Options
+
+// PricingClient is a typed HTTP client for a running pricing daemon.
+type PricingClient = server.Client
+
+// DeadlineRequest asks the service for a fixed-deadline dynamic pricing
+// policy (Section 3).
+type DeadlineRequest = server.DeadlineRequest
+
+// BudgetRequest asks the service for a fixed-budget static allocation
+// (Section 4).
+type BudgetRequest = server.BudgetRequest
+
+// TradeoffRequest asks the service for a cost/latency trade-off policy
+// (Section 6).
+type TradeoffRequest = server.TradeoffRequest
+
+// BatchRequest solves many problems in one round trip.
+type BatchRequest = server.BatchRequest
+
+// BatchResponse mirrors BatchRequest positionally.
+type BatchResponse = server.BatchResponse
+
+// SolveResponse is the envelope every solve endpoint returns; decode the
+// artifact with DecodePolicy, DecodeBudget, or DecodeTradeoff.
+type SolveResponse = server.SolveResponse
+
+// BudgetStrategyResult is the solved budget allocation on the wire.
+type BudgetStrategyResult = server.BudgetStrategy
+
+// TradeoffSchedule is the solved trade-off policy on the wire.
+type TradeoffSchedule = server.TradeoffSchedule
+
+// LogisticParams is the wire form of the Equation-3 acceptance curve.
+type LogisticParams = server.LogisticParams
+
+// NewPricingServer builds the pricing service; expose it with Handler or
+// mount it inside an existing mux.
+func NewPricingServer(opts PricingServerOptions) *PricingServer { return server.New(opts) }
+
+// NewPricingClient returns a client for the daemon at baseURL, e.g.
+// "http://localhost:8080".
+func NewPricingClient(baseURL string) *PricingClient { return server.NewClient(baseURL) }

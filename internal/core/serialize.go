@@ -1,9 +1,15 @@
 package core
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash"
+	"io"
+	"math"
 
 	"crowdpricing/internal/choice"
 )
@@ -106,4 +112,126 @@ func (pol *DeadlinePolicy) UnmarshalJSON(data []byte) error {
 	pol.Price = pj.Price
 	pol.Opt = pj.Opt
 	return nil
+}
+
+// fpHasher accumulates the canonical binary encoding behind problem
+// fingerprints. Every field is written in a fixed order with an explicit
+// width (int64 big-endian for integers, IEEE-754 bits for floats, length-
+// prefixed bytes for strings), so the resulting digest depends only on the
+// problem's content — never on map iteration order, struct layout, platform
+// word size, or JSON formatting.
+type fpHasher struct {
+	h hash.Hash
+}
+
+// newFPHasher starts a hash in the given domain; the domain tag separates
+// the problem kinds (and versions the encoding), so a deadline problem and a
+// budget problem can never collide even if their field bytes coincide.
+func newFPHasher(domain string) *fpHasher {
+	f := &fpHasher{h: sha256.New()}
+	f.str(domain)
+	return f
+}
+
+func (f *fpHasher) str(s string) {
+	f.int(len(s))
+	io.WriteString(f.h, s)
+}
+
+func (f *fpHasher) int(v int) {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(int64(v)))
+	f.h.Write(b[:])
+}
+
+func (f *fpHasher) float(v float64) {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], math.Float64bits(v))
+	f.h.Write(b[:])
+}
+
+func (f *fpHasher) floats(vs []float64) {
+	f.int(len(vs))
+	for _, v := range vs {
+		f.float(v)
+	}
+}
+
+func (f *fpHasher) sum() string { return hex.EncodeToString(f.h.Sum(nil)) }
+
+// fingerprintAccept folds the acceptance curve into the hash. Like policy
+// serialization, fingerprinting requires the parametric choice.Logistic
+// curve; an arbitrary AcceptanceFn has no canonical content to hash.
+func fingerprintAccept(f *fpHasher, fn choice.AcceptanceFn) error {
+	l, ok := fn.(choice.Logistic)
+	if !ok {
+		return fmt.Errorf("core: acceptance curve %T is not fingerprintable", fn)
+	}
+	f.str("logistic")
+	f.float(l.S)
+	f.float(l.B)
+	f.float(l.M)
+	return nil
+}
+
+// Fingerprint returns a stable content hash of the problem: two problems
+// have equal fingerprints iff every parameter that influences the solved
+// policy is equal. The Workers knob is deliberately excluded — it changes
+// scheduling, never the policy — so a shared cache keyed by Fingerprint
+// serves the same artifact regardless of each caller's parallelism setting.
+// The problem must validate; fingerprinting an invalid problem is an error
+// so malformed requests can never occupy cache slots.
+func (p *DeadlineProblem) Fingerprint() (string, error) {
+	if err := p.Validate(); err != nil {
+		return "", err
+	}
+	f := newFPHasher("crowdpricing/deadline/v1")
+	f.int(p.N)
+	f.float(p.Horizon)
+	f.int(p.Intervals)
+	f.floats(p.Lambdas)
+	if err := fingerprintAccept(f, p.Accept); err != nil {
+		return "", err
+	}
+	f.int(p.MinPrice)
+	f.int(p.MaxPrice)
+	f.float(p.Penalty)
+	f.float(p.Alpha)
+	f.float(p.TruncEps)
+	return f.sum(), nil
+}
+
+// Fingerprint returns a stable content hash of the budget problem; see
+// DeadlineProblem.Fingerprint for the contract.
+func (p *BudgetProblem) Fingerprint() (string, error) {
+	if err := p.Validate(); err != nil {
+		return "", err
+	}
+	f := newFPHasher("crowdpricing/budget/v1")
+	f.int(p.N)
+	f.int(p.Budget)
+	if err := fingerprintAccept(f, p.Accept); err != nil {
+		return "", err
+	}
+	f.int(p.MinPrice)
+	f.int(p.MaxPrice)
+	return f.sum(), nil
+}
+
+// Fingerprint returns a stable content hash of the trade-off problem; see
+// DeadlineProblem.Fingerprint for the contract.
+func (p *TradeoffProblem) Fingerprint() (string, error) {
+	if err := p.Validate(); err != nil {
+		return "", err
+	}
+	f := newFPHasher("crowdpricing/tradeoff/v1")
+	f.int(p.N)
+	f.float(p.Alpha)
+	f.float(p.Lambda)
+	if err := fingerprintAccept(f, p.Accept); err != nil {
+		return "", err
+	}
+	f.int(p.MinPrice)
+	f.int(p.MaxPrice)
+	return f.sum(), nil
 }

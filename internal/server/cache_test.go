@@ -1,0 +1,115 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newPolicyCache(3)
+	for i := 1; i <= 3; i++ {
+		c.Put(fmt.Sprintf("k%d", i), []byte{byte(i)})
+	}
+	// Touch k1 so k2 becomes the eviction victim.
+	if _, ok := c.Get("k1"); !ok {
+		t.Fatal("k1 missing before eviction")
+	}
+	c.Put("k4", []byte{4})
+	if _, ok := c.Get("k2"); ok {
+		t.Error("k2 should have been evicted as least recently used")
+	}
+	for _, k := range []string{"k1", "k3", "k4"} {
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("%s should have survived eviction", k)
+		}
+	}
+	if got := c.Len(); got != 3 {
+		t.Errorf("Len = %d, want 3", got)
+	}
+}
+
+func TestCachePutRefreshes(t *testing.T) {
+	c := newPolicyCache(2)
+	c.Put("a", []byte{1})
+	c.Put("b", []byte{2})
+	c.Put("a", []byte{3}) // refresh both value and recency
+	c.Put("c", []byte{4}) // evicts b, not a
+	if v, ok := c.Get("a"); !ok || v[0] != 3 {
+		t.Errorf("a = %v, %v; want updated value 3", v, ok)
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	c := newPolicyCache(16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := fmt.Sprintf("k%d", (g+i)%32)
+				c.Put(k, []byte(k))
+				if v, ok := c.Get(k); ok && string(v) != k {
+					t.Errorf("got %q for key %q", v, k)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := c.Len(); got > 16 {
+		t.Errorf("cache grew to %d entries, cap is 16", got)
+	}
+}
+
+func TestFlightGroupShares(t *testing.T) {
+	var g flightGroup
+	var calls atomic.Int64
+	release := make(chan struct{})
+	var ready, wg sync.WaitGroup
+	shared := make([]bool, 10)
+	vals := make([][]byte, 10)
+	for i := 0; i < 10; i++ {
+		ready.Add(1)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ready.Done()
+			v, err, sh := g.Do("k", func() ([]byte, error) {
+				calls.Add(1)
+				<-release
+				return []byte("result"), nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			vals[i], shared[i] = v, sh
+		}(i)
+	}
+	// Hold the one executor inside fn until every goroutine has had ample
+	// time to reach Do and join the in-flight call.
+	ready.Wait()
+	time.Sleep(100 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("fn ran %d times, want 1", n)
+	}
+	nShared := 0
+	for i := range vals {
+		if string(vals[i]) != "result" {
+			t.Errorf("caller %d got %q", i, vals[i])
+		}
+		if shared[i] {
+			nShared++
+		}
+	}
+	if nShared != 9 {
+		t.Errorf("%d callers reported shared results, want 9", nShared)
+	}
+}

@@ -1,0 +1,118 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// Client is a typed HTTP client for the pricing service. The zero value is
+// not usable; create one with NewClient. Safe for concurrent use.
+type Client struct {
+	// BaseURL is the daemon's root, e.g. "http://localhost:8080".
+	BaseURL string
+	// HTTP is the underlying client; nil means http.DefaultClient. Set a
+	// Timeout here to bound the whole round trip client-side (the daemon
+	// separately bounds solve time with its -timeout flag).
+	HTTP *http.Client
+}
+
+// NewClient returns a Client for the daemon at baseURL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: baseURL}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) postJSON(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	res, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		var e errorResponse
+		if json.NewDecoder(io.LimitReader(res.Body, 1<<16)).Decode(&e) == nil && e.Error != "" {
+			return fmt.Errorf("server: %s: %s", res.Status, e.Error)
+		}
+		return fmt.Errorf("server: %s", res.Status)
+	}
+	return json.NewDecoder(res.Body).Decode(out)
+}
+
+// SolveDeadline requests a fixed-deadline dynamic pricing policy; decode
+// the result with SolveResponse.DecodePolicy.
+func (c *Client) SolveDeadline(ctx context.Context, req DeadlineRequest) (*SolveResponse, error) {
+	var out SolveResponse
+	if err := c.postJSON(ctx, "/v1/solve/deadline", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// SolveBudget requests a fixed-budget static allocation; decode the result
+// with SolveResponse.DecodeBudget.
+func (c *Client) SolveBudget(ctx context.Context, req BudgetRequest) (*SolveResponse, error) {
+	var out SolveResponse
+	if err := c.postJSON(ctx, "/v1/solve/budget", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// SolveTradeoff requests a cost/latency trade-off policy; decode the result
+// with SolveResponse.DecodeTradeoff.
+func (c *Client) SolveTradeoff(ctx context.Context, req TradeoffRequest) (*SolveResponse, error) {
+	var out SolveResponse
+	if err := c.postJSON(ctx, "/v1/solve/tradeoff", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// SolveBatch submits many problems in one round trip.
+func (c *Client) SolveBatch(ctx context.Context, req BatchRequest) (*BatchResponse, error) {
+	var out BatchResponse
+	if err := c.postJSON(ctx, "/v1/solve/batch", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Healthz reads the daemon's liveness status.
+func (c *Client) Healthz(ctx context.Context) (*HealthStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/healthz", nil)
+	if err != nil {
+		return nil, err
+	}
+	res, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("server: %s", res.Status)
+	}
+	var out HealthStatus
+	if err := json.NewDecoder(res.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}

@@ -1,0 +1,50 @@
+package server
+
+import "sync"
+
+// flightGroup deduplicates concurrent work per key, in the style of
+// golang.org/x/sync/singleflight (reimplemented here because the module
+// takes no dependencies outside the standard library): while a call for a
+// key is in flight, later callers for the same key block on its completion
+// and share its result instead of repeating the work. Combined with the
+// fingerprint-keyed cache, N simultaneous identical solve requests cost
+// exactly one backward induction.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	val  []byte
+	err  error
+}
+
+// Do runs fn once per key among concurrent callers and returns its result to
+// all of them. shared reports whether this caller joined an in-flight call
+// rather than executing fn itself. fn must not panic: a panic would leave
+// the call registered and its done channel open, hanging every later caller
+// for the key — Server.solve recovers inside its fn for exactly this
+// reason.
+func (g *flightGroup) Do(key string, fn func() ([]byte, error)) (val []byte, err error, shared bool) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[string]*flightCall)
+	}
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		<-c.done
+		return c.val, c.err, true
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.val, c.err, false
+}

@@ -1,0 +1,512 @@
+// Package server turns the batch pricing library into pricing-as-a-service:
+// a long-running daemon exposing the paper's three solvers over HTTP/JSON,
+// backed by a shared LRU cache of solved policies keyed by a canonical
+// content hash of the problem (core's Fingerprint methods) and a
+// singleflight layer that collapses concurrent identical requests onto one
+// solve.
+//
+// The economics mirror the systems in PAPERS.md that keep hot state next to
+// the compute: the expensive artifact here is a solved policy — a
+// backward-induction MDP at paper scale runs for seconds, while a warm
+// cache hit is a map lookup — and many requesters price similar batches, so
+// deduplication is the common case, not the corner case.
+//
+// Endpoints:
+//
+//	POST /v1/solve/deadline   fixed-deadline dynamic policy   (Section 3)
+//	POST /v1/solve/budget     fixed-budget static allocation  (Section 4)
+//	POST /v1/solve/tradeoff   cost/latency trade-off policy   (Section 6)
+//	POST /v1/solve/batch      many problems, one round trip
+//	GET  /healthz             liveness + uptime
+//	GET  /metrics             Prometheus-format counters
+//
+// cmd/priced wraps this package in a binary; the root crowdpricing package
+// re-exports the client-facing types.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"crowdpricing/internal/core"
+)
+
+// Defaults for Options zero values.
+const (
+	// DefaultCacheSize bounds the policy cache. A paper-scale deadline
+	// policy (N=200, 72 intervals) serializes to ~250 KB, so the default
+	// caps cache memory around a quarter of a gigabyte.
+	DefaultCacheSize = 1024
+	// DefaultRequestTimeout bounds how long a request waits for its solve.
+	DefaultRequestTimeout = 2 * time.Minute
+	// MaxBatchItems bounds a single batch request.
+	MaxBatchItems = 256
+	// batchWorkers caps how many batch items solve concurrently within one
+	// request; items beyond it queue. Waiters on an in-flight identical
+	// solve hold a slot too, which is fine — they are blocked, not burning
+	// CPU, and the cap exists to bound solver parallelism.
+	batchWorkers = 16
+)
+
+// Options configures a Server. The zero value is production-ready.
+type Options struct {
+	// CacheSize is the maximum number of cached policies (0 =
+	// DefaultCacheSize).
+	CacheSize int
+	// SolverWorkers is the goroutine count for each cold deadline solve,
+	// core.DeadlineProblem.Workers (0 = GOMAXPROCS).
+	SolverWorkers int
+	// RequestTimeout is how long a request may wait for its solve before
+	// the daemon answers 504 (0 = DefaultRequestTimeout). The solve itself
+	// keeps running and warms the cache for the retry.
+	RequestTimeout time.Duration
+}
+
+// Server is the pricing service. Create with New, expose with Handler; a
+// single Server is safe for arbitrary concurrent use.
+type Server struct {
+	opts   Options
+	cache  *policyCache
+	flight flightGroup
+	mux    *http.ServeMux
+	start  time.Time
+
+	// Every solve request increments exactly one of cacheHits (served from
+	// cache, whether on the fast path or the singleflight double-check) or
+	// cacheMisses (waited on a solver — its own or one it joined), so
+	// hits + misses equals completed solve requests.
+	requests     atomic.Int64 // HTTP requests accepted across all endpoints
+	cacheHits    atomic.Int64 // solve requests served from the cache
+	cacheMisses  atomic.Int64 // solve requests that waited on a solver
+	solves       atomic.Int64 // solver executions actually performed
+	flightShared atomic.Int64 // requests that joined another request's solve
+	errorCount   atomic.Int64 // non-2xx responses
+}
+
+// New builds a Server; see Options for the knobs.
+func New(opts Options) *Server {
+	if opts.CacheSize <= 0 {
+		opts.CacheSize = DefaultCacheSize
+	}
+	if opts.RequestTimeout <= 0 {
+		opts.RequestTimeout = DefaultRequestTimeout
+	}
+	s := &Server{
+		opts:  opts,
+		cache: newPolicyCache(opts.CacheSize),
+		mux:   http.NewServeMux(),
+		start: time.Now(),
+	}
+	s.mux.HandleFunc("/v1/solve/deadline", s.post(s.handleDeadline))
+	s.mux.HandleFunc("/v1/solve/budget", s.post(s.handleBudget))
+	s.mux.HandleFunc("/v1/solve/tradeoff", s.post(s.handleTradeoff))
+	s.mux.HandleFunc("/v1/solve/batch", s.post(s.handleBatch))
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the HTTP handler serving the full API surface.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// MetricsSnapshot is a consistent-enough point-in-time read of the
+// counters, exposed for tests and for embedding applications; the /metrics
+// endpoint renders the same numbers in Prometheus text format.
+type MetricsSnapshot struct {
+	Requests           int64
+	CacheHits          int64
+	CacheMisses        int64
+	Solves             int64
+	SingleflightShared int64
+	Errors             int64
+	CacheEntries       int64
+}
+
+// Metrics returns the current counter values.
+func (s *Server) Metrics() MetricsSnapshot {
+	return MetricsSnapshot{
+		Requests:           s.requests.Load(),
+		CacheHits:          s.cacheHits.Load(),
+		CacheMisses:        s.cacheMisses.Load(),
+		Solves:             s.solves.Load(),
+		SingleflightShared: s.flightShared.Load(),
+		Errors:             s.errorCount.Load(),
+		CacheEntries:       int64(s.cache.Len()),
+	}
+}
+
+// post wraps a handler with method enforcement and the request counter.
+func (s *Server) post(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			s.fail(w, http.StatusMethodNotAllowed, errors.New("use POST"))
+			return
+		}
+		h(w, r)
+	}
+}
+
+func (s *Server) fail(w http.ResponseWriter, status int, err error) {
+	s.errorCount.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(errorResponse{Error: err.Error()})
+}
+
+func (s *Server) ok(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// solve is the shared cache → singleflight → solver path. key is the
+// artifact identity (solver variant + problem fingerprint); run produces
+// the serialized artifact on a miss.
+func (s *Server) solve(ctx context.Context, kind, key string, run func() ([]byte, error)) (*SolveResponse, error) {
+	if val, ok := s.cache.Get(key); ok {
+		s.cacheHits.Add(1)
+		return &SolveResponse{Kind: kind, Fingerprint: key, CacheHit: true, Result: val}, nil
+	}
+	begin := time.Now()
+	type outcome struct {
+		val    []byte
+		err    error
+		cached bool
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		// cached is written by fn, which only ever runs on this goroutine
+		// (joiners share the executor's result without running fn), and is
+		// read after Do returns, so no synchronization is needed.
+		cached := false
+		val, err, shared := s.flight.Do(key, func() (val []byte, err error) {
+			// The solvers validate their inputs, but a panic on a
+			// pathological problem must not take down the daemon: this
+			// goroutine sits outside net/http's per-connection recovery.
+			defer func() {
+				if r := recover(); r != nil {
+					err = fmt.Errorf("solver panic: %v", r)
+				}
+			}()
+			// Double-check the cache: another request may have finished this
+			// exact solve between our miss above and entering the flight
+			// group. Without this re-check, N concurrent identical requests
+			// could perform up to two solves instead of exactly one.
+			if v, ok := s.cache.Get(key); ok {
+				s.cacheHits.Add(1)
+				cached = true
+				return v, nil
+			}
+			s.cacheMisses.Add(1)
+			s.solves.Add(1)
+			val, err = run()
+			if err == nil {
+				s.cache.Put(key, val)
+			}
+			return val, err
+		})
+		if shared {
+			// Joined another request's in-flight solve; count it as a miss
+			// here so every request increments exactly one of hits/misses.
+			s.flightShared.Add(1)
+			s.cacheMisses.Add(1)
+		}
+		ch <- outcome{val, err, cached}
+	}()
+	select {
+	case <-ctx.Done():
+		// The solve keeps running on its goroutine and warms the cache, so
+		// the client's retry is free.
+		return nil, ctx.Err()
+	case out := <-ch:
+		if out.err != nil {
+			return nil, out.err
+		}
+		resp := &SolveResponse{Kind: kind, Fingerprint: key, Result: out.val}
+		if out.cached {
+			// The singleflight double-check found the artifact already
+			// cached, so this request never waited on a solver: report it
+			// as the cache hit it was.
+			resp.CacheHit = true
+		} else {
+			resp.SolveMillis = float64(time.Since(begin)) / float64(time.Millisecond)
+		}
+		return resp, nil
+	}
+}
+
+// respond maps a solve outcome to HTTP: validation problems are the
+// client's fault (400), timeouts are 504, anything else is 500.
+func (s *Server) respond(w http.ResponseWriter, resp *SolveResponse, err error) {
+	switch {
+	case err == nil:
+		s.ok(w, resp)
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		s.fail(w, http.StatusGatewayTimeout, errors.New("solve timed out; the policy is still being computed, retry to pick it up"))
+	default:
+		s.fail(w, http.StatusInternalServerError, err)
+	}
+}
+
+// maxBodyBytes bounds request bodies so one connection cannot buffer
+// unbounded JSON into memory. 32 MiB comfortably fits the largest
+// acceptable batch (MaxBatchItems items at MaxIntervals lambdas each).
+const maxBodyBytes = 32 << 20
+
+func decodeInto(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
+}
+
+func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(r.Context(), s.opts.RequestTimeout)
+}
+
+func (s *Server) handleDeadline(w http.ResponseWriter, r *http.Request) {
+	var req DeadlineRequest
+	if err := decodeInto(w, r, &req); err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	resp, err := s.solveDeadline(ctx, req)
+	if err != nil && isBadProblem(err) {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	s.respond(w, resp, err)
+}
+
+// isBadProblem classifies errors raised before any solver ran — problem
+// validation and fingerprinting failures — which are client errors.
+func isBadProblem(err error) bool {
+	var bad badProblemError
+	return errors.As(err, &bad)
+}
+
+type badProblemError struct{ err error }
+
+func (e badProblemError) Error() string { return e.err.Error() }
+func (e badProblemError) Unwrap() error { return e.err }
+
+func (s *Server) solveDeadline(ctx context.Context, req DeadlineRequest) (*SolveResponse, error) {
+	if err := req.checkLimits(); err != nil {
+		return nil, badProblemError{err}
+	}
+	p := req.problem(s.opts.SolverWorkers)
+	fp, err := p.Fingerprint()
+	if err != nil {
+		return nil, badProblemError{err}
+	}
+	return s.solve(ctx, KindDeadline, "deadline/efficient:"+fp, func() ([]byte, error) {
+		pol, err := p.SolveEfficient()
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(pol)
+	})
+}
+
+func (s *Server) handleBudget(w http.ResponseWriter, r *http.Request) {
+	var req BudgetRequest
+	if err := decodeInto(w, r, &req); err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	resp, err := s.solveBudget(ctx, req)
+	if err != nil && isBadProblem(err) {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	s.respond(w, resp, err)
+}
+
+func (s *Server) solveBudget(ctx context.Context, req BudgetRequest) (*SolveResponse, error) {
+	method, err := req.method()
+	if err != nil {
+		return nil, badProblemError{err}
+	}
+	if err := req.checkLimits(method); err != nil {
+		return nil, badProblemError{err}
+	}
+	p := req.problem()
+	fp, err := p.Fingerprint()
+	if err != nil {
+		return nil, badProblemError{err}
+	}
+	return s.solve(ctx, KindBudget, "budget/"+method+":"+fp, func() ([]byte, error) {
+		var strat core.StaticStrategy
+		var err error
+		if method == BudgetMethodExact {
+			strat, err = p.SolveExactDP()
+		} else {
+			strat, err = p.SolveHull()
+		}
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(BudgetStrategy{
+			Counts:                 strat.Counts,
+			TotalCost:              strat.TotalCost(),
+			ExpectedWorkerArrivals: strat.ExpectedWorkerArrivals(p.Accept),
+		})
+	})
+}
+
+func (s *Server) handleTradeoff(w http.ResponseWriter, r *http.Request) {
+	var req TradeoffRequest
+	if err := decodeInto(w, r, &req); err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	resp, err := s.solveTradeoff(ctx, req)
+	if err != nil && isBadProblem(err) {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	s.respond(w, resp, err)
+}
+
+func (s *Server) solveTradeoff(ctx context.Context, req TradeoffRequest) (*SolveResponse, error) {
+	form, err := req.formulation()
+	if err != nil {
+		return nil, badProblemError{err}
+	}
+	if err := req.checkLimits(); err != nil {
+		return nil, badProblemError{err}
+	}
+	p := req.problem()
+	fp, err := p.Fingerprint()
+	if err != nil {
+		return nil, badProblemError{err}
+	}
+	return s.solve(ctx, KindTradeoff, "tradeoff/"+form+":"+fp, func() ([]byte, error) {
+		var pol *core.TradeoffPolicy
+		var err error
+		if form == TradeoffFixedRate {
+			pol, err = p.SolveFixedRate()
+		} else {
+			pol, err = p.SolveWorkerArrival()
+		}
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(TradeoffSchedule{Price: pol.Price, Value: pol.Value})
+	})
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if err := decodeInto(w, r, &req); err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	total := len(req.Deadline) + len(req.Budget) + len(req.Tradeoff)
+	if total == 0 {
+		s.fail(w, http.StatusBadRequest, errors.New("empty batch"))
+		return
+	}
+	if total > MaxBatchItems {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("batch has %d items, limit is %d", total, MaxBatchItems))
+		return
+	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+
+	resp := BatchResponse{
+		Deadline: make([]BatchResult, len(req.Deadline)),
+		Budget:   make([]BatchResult, len(req.Budget)),
+		Tradeoff: make([]BatchResult, len(req.Tradeoff)),
+	}
+	// Items run concurrently so identical ones collapse onto one solve via
+	// the singleflight layer (a batch of N clones costs one solve), but the
+	// fan-out is capped: distinct items queue on the semaphore instead of
+	// thrashing the solver with unbounded parallel backward inductions.
+	sem := make(chan struct{}, batchWorkers)
+	var wg sync.WaitGroup
+	run := func(slot *BatchResult, solve func() (*SolveResponse, error)) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			res, err := solve()
+			if err != nil {
+				slot.Error = err.Error()
+				return
+			}
+			slot.Response = res
+		}()
+	}
+	for i, item := range req.Deadline {
+		run(&resp.Deadline[i], func() (*SolveResponse, error) { return s.solveDeadline(ctx, item) })
+	}
+	for i, item := range req.Budget {
+		run(&resp.Budget[i], func() (*SolveResponse, error) { return s.solveBudget(ctx, item) })
+	}
+	for i, item := range req.Tradeoff {
+		run(&resp.Tradeoff[i], func() (*SolveResponse, error) { return s.solveTradeoff(ctx, item) })
+	}
+	wg.Wait()
+	s.ok(w, resp)
+}
+
+// HealthStatus is the /healthz body.
+type HealthStatus struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	CacheEntries  int     `json:"cache_entries"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	s.ok(w, HealthStatus{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		CacheEntries:  s.cache.Len(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	m := s.Metrics()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	for _, row := range []struct {
+		name, help string
+		value      int64
+	}{
+		{"crowdpricing_requests_total", "HTTP requests accepted.", m.Requests},
+		{"crowdpricing_cache_hits_total", "Solve requests served from the warm policy cache.", m.CacheHits},
+		{"crowdpricing_cache_misses_total", "Solve requests that consulted the solver layer.", m.CacheMisses},
+		{"crowdpricing_solves_total", "Solver executions actually performed.", m.Solves},
+		{"crowdpricing_singleflight_shared_total", "Requests deduplicated onto another request's in-flight solve.", m.SingleflightShared},
+		{"crowdpricing_errors_total", "Non-2xx responses.", m.Errors},
+		{"crowdpricing_cache_entries", "Policies currently cached.", m.CacheEntries},
+	} {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n",
+			row.name, row.help, row.name, counterType(row.name), row.name, row.value)
+	}
+}
+
+func counterType(name string) string {
+	if name == "crowdpricing_cache_entries" {
+		return "gauge"
+	}
+	return "counter"
+}
