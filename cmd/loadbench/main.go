@@ -1,0 +1,194 @@
+// Command loadbench is the open-loop load generator and continuous
+// benchmark for the pricing daemon. It replays an NHPP-scheduled,
+// fixed-seed mix of deadline/budget/tradeoff problems against either an
+// in-process server (hermetic, the CI mode) or a running daemon over HTTP,
+// measures coordinated-omission-safe latency, and writes a machine-readable
+// JSON report next to a human summary.
+//
+// Examples:
+//
+//	loadbench -duration 10s -seed 1 -out BENCH_loadbench.json
+//	loadbench -url http://localhost:8080 -rate 200 -size paper -cardinality 64
+//	loadbench -duration 10s -baseline BENCH_old.json -threshold 0.10
+//
+// Exit codes: 0 success; 1 usage or run failure; 2 a metric regressed past
+// -threshold against -baseline; 3 the -max-p99 / -max-error-rate sanity
+// ceiling was exceeded (the CI smoke gate).
+//
+// Flags:
+//
+//	-duration duration    measurement window (default 10s)
+//	-warmup duration      cache warm-up excluded from stats (default 2s)
+//	-rate float           mean arrival rate, requests/second (default 50)
+//	-seed int             RNG seed; equal seeds replay identical schedules (default 1)
+//	-mix string           kind weights, e.g. "deadline=5,budget=3,tradeoff=2"
+//	-cardinality int      distinct problems per kind — the cache hit-rate dial (default 16)
+//	-size string          problem scale: small, medium, or paper (default "small")
+//	-shape string         arrival profile: constant or diurnal (default "constant")
+//	-url string           target daemon base URL; empty runs in-process
+//	-cache int            in-process mode: policy cache capacity (default 1024)
+//	-workers int          in-process mode: goroutines per cold deadline solve (default 0 = all CPUs)
+//	-concurrency int      cap on in-flight requests (default 4096)
+//	-out string           write the JSON report here (default "BENCH_loadbench.json"; "" skips)
+//	-baseline string      compare against a previous JSON report
+//	-threshold float      relative regression threshold for -baseline (default 0.1)
+//	-max-p99 duration     fail (exit 3) if overall p99 exceeds this (0 disables)
+//	-max-error-rate float fail (exit 3) if the error rate exceeds this (-1 disables)
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"crowdpricing/internal/bench"
+	"crowdpricing/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("loadbench: ")
+	flag.Usage = func() {
+		o := flag.CommandLine.Output()
+		fmt.Fprintf(o, "usage: loadbench [flags]\n\n")
+		fmt.Fprintf(o, "Replay an NHPP-scheduled pricing workload and report latency/throughput.\n\nflags:\n")
+		flag.PrintDefaults()
+	}
+	var (
+		duration    = flag.Duration("duration", 10*time.Second, "measurement window")
+		warmup      = flag.Duration("warmup", 2*time.Second, "cache warm-up excluded from stats")
+		rateRPS     = flag.Float64("rate", 50, "mean arrival rate, requests/second")
+		seed        = flag.Int64("seed", 1, "RNG seed; equal seeds replay identical schedules")
+		mixSpec     = flag.String("mix", "", `kind weights, e.g. "deadline=5,budget=3,tradeoff=2" (default the built-in mix)`)
+		cardinality = flag.Int("cardinality", 16, "distinct problems per kind — the cache hit-rate dial")
+		size        = flag.String("size", "small", "problem scale: small, medium, or paper")
+		shape       = flag.String("shape", "constant", "arrival profile: constant or diurnal")
+		url         = flag.String("url", "", "target daemon base URL; empty runs in-process")
+		cacheSize   = flag.Int("cache", server.DefaultCacheSize, "in-process mode: policy cache capacity")
+		workers     = flag.Int("workers", 0, "in-process mode: goroutines per cold deadline solve (0 = all CPUs)")
+		concurrency = flag.Int("concurrency", 4096, "cap on in-flight requests")
+		out         = flag.String("out", "BENCH_loadbench.json", `write the JSON report here ("" skips)`)
+		baseline    = flag.String("baseline", "", "compare against a previous JSON report")
+		threshold   = flag.Float64("threshold", 0.10, "relative regression threshold for -baseline")
+		maxP99      = flag.Duration("max-p99", 0, "fail (exit 3) if overall p99 exceeds this (0 disables)")
+		maxErrRate  = flag.Float64("max-error-rate", -1, "fail (exit 3) if the error rate exceeds this (-1 disables)")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		log.Fatalf("unexpected arguments %q; loadbench takes flags only", flag.Args())
+	}
+
+	mix, err := parseMix(*mixSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := bench.Config{
+		Seed:        *seed,
+		Rate:        *rateRPS,
+		Duration:    *duration,
+		Warmup:      *warmup,
+		Mix:         mix,
+		Cardinality: *cardinality,
+		Size:        bench.Size(*size),
+		Shape:       bench.Shape(*shape),
+	}
+	sched, err := bench.GenerateSchedule(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	targetName := "in-process"
+	var target bench.Target
+	if *url != "" {
+		targetName = *url
+		target = bench.NewHTTPTarget(*url)
+	} else {
+		target, _ = bench.NewInProcessTarget(server.Options{
+			CacheSize:     *cacheSize,
+			SolverWorkers: *workers,
+		})
+	}
+
+	log.Printf("replaying %d requests (%s warmup + %s measured) against %s, schedule %.12s…",
+		len(sched.Requests), *warmup, *duration, targetName, sched.Hash)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	res, err := bench.Run(ctx, sched, bench.RunOptions{Target: target, MaxConcurrent: *concurrency})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rep := bench.BuildReport(sched.Config, targetName, res, time.Now())
+	fmt.Print(rep.Table())
+	if *out != "" {
+		if err := rep.WriteJSON(*out); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("report written to %s", *out)
+	}
+
+	exit := 0
+	if *baseline != "" {
+		base, err := bench.ReadReport(*baseline)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cmp := bench.Compare(base, rep, *threshold)
+		fmt.Print(cmp.Format())
+		if len(cmp.Regressions()) > 0 {
+			exit = 2
+		}
+	}
+	if *maxErrRate >= 0 && rep.ErrorRate > *maxErrRate {
+		log.Printf("SANITY FAIL: error rate %.4f exceeds -max-error-rate %.4f", rep.ErrorRate, *maxErrRate)
+		exit = 3
+	}
+	if *maxP99 > 0 {
+		p99 := time.Duration(rep.Latency.P99Millis * float64(time.Millisecond))
+		if p99 > *maxP99 {
+			log.Printf("SANITY FAIL: p99 %v exceeds -max-p99 %v", p99, *maxP99)
+			exit = 3
+		}
+	}
+	os.Exit(exit)
+}
+
+// parseMix parses "deadline=5,budget=3,tradeoff=2" (missing kinds weigh 0;
+// empty string selects the built-in default mix).
+func parseMix(spec string) (bench.Mix, error) {
+	if spec == "" {
+		return bench.Mix{}, nil
+	}
+	var m bench.Mix
+	for _, part := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return m, fmt.Errorf(`bad -mix component %q (want "kind=weight")`, part)
+		}
+		w, err := strconv.ParseFloat(val, 64)
+		if err != nil || w < 0 {
+			return m, fmt.Errorf("bad -mix weight %q for %q", val, key)
+		}
+		switch key {
+		case bench.KindDeadline:
+			m.Deadline = w
+		case bench.KindBudget:
+			m.Budget = w
+		case bench.KindTradeoff:
+			m.Tradeoff = w
+		default:
+			return m, fmt.Errorf("unknown -mix kind %q (want deadline, budget, or tradeoff)", key)
+		}
+	}
+	if m.Deadline+m.Budget+m.Tradeoff <= 0 {
+		return m, fmt.Errorf("-mix %q has no positive weights", spec)
+	}
+	return m, nil
+}

@@ -1,0 +1,333 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"crowdpricing/internal/server"
+)
+
+func smallConfig() Config {
+	return Config{
+		Seed:        1,
+		Rate:        150,
+		Duration:    400 * time.Millisecond,
+		Warmup:      100 * time.Millisecond,
+		Cardinality: 3,
+		Size:        SizeSmall,
+	}
+}
+
+func TestGenerateScheduleDeterministic(t *testing.T) {
+	a, err := GenerateSchedule(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateSchedule(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Hash != b.Hash {
+		t.Fatalf("same config, different schedule hashes: %s vs %s", a.Hash, b.Hash)
+	}
+	if !reflect.DeepEqual(a.Requests, b.Requests) {
+		t.Fatal("same config produced different request slices")
+	}
+	if len(a.Requests) == 0 {
+		t.Fatal("empty schedule for a 0.5s window at 150 rps")
+	}
+
+	other := smallConfig()
+	other.Seed = 2
+	c, err := GenerateSchedule(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Hash == a.Hash {
+		t.Fatal("different seeds produced identical schedules")
+	}
+
+	// Size changes only the problem bodies, never an arrival tuple — the
+	// hash must still differ, or A/B compares would silently diff runs of
+	// different workloads.
+	sized := smallConfig()
+	sized.Size = SizePaper
+	d, err := GenerateSchedule(sized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Hash == a.Hash {
+		t.Fatal("different problem sizes produced identical schedule hashes")
+	}
+}
+
+// TestScheduleShapeAndBodies checks structural invariants: sorted arrival
+// times inside the window, problem ids within cardinality, bodies shared by
+// id, and all three kinds present under the default mix.
+func TestScheduleShapeAndBodies(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Shape = ShapeDiurnal
+	cfg.Rate = 400
+	sched, err := GenerateSchedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	window := cfg.Warmup + cfg.Duration
+	seen := map[string]map[int]any{}
+	kinds := map[string]int{}
+	var prev time.Duration
+	for i, q := range sched.Requests {
+		if q.At < prev {
+			t.Fatalf("request %d at %v precedes request %d at %v", i, q.At, i-1, prev)
+		}
+		prev = q.At
+		if q.At < 0 || q.At >= window {
+			t.Fatalf("request %d scheduled at %v, outside [0, %v)", i, q.At, window)
+		}
+		if q.ProblemID < 0 || q.ProblemID >= cfg.Cardinality {
+			t.Fatalf("request %d has problem id %d, cardinality %d", i, q.ProblemID, cfg.Cardinality)
+		}
+		kinds[q.Kind]++
+		var body any
+		switch q.Kind {
+		case KindDeadline:
+			body = q.Deadline
+		case KindBudget:
+			body = q.Budget
+		case KindTradeoff:
+			body = q.Tradeoff
+		default:
+			t.Fatalf("request %d has unknown kind %q", i, q.Kind)
+		}
+		if body == nil || reflect.ValueOf(body).IsNil() {
+			t.Fatalf("request %d (%s) has no body", i, q.Kind)
+		}
+		if seen[q.Kind] == nil {
+			seen[q.Kind] = map[int]any{}
+		}
+		if prior, ok := seen[q.Kind][q.ProblemID]; ok && prior != body {
+			t.Fatalf("kind %s id %d bound to two distinct bodies", q.Kind, q.ProblemID)
+		}
+		seen[q.Kind][q.ProblemID] = body
+	}
+	for _, k := range Kinds {
+		if kinds[k] == 0 {
+			t.Errorf("no %s requests in a %d-request default-mix schedule", k, len(sched.Requests))
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.Rate = 0 },
+		func(c *Config) { c.Duration = 0 },
+		func(c *Config) { c.Warmup = -time.Second },
+		func(c *Config) { c.Size = "gigantic" },
+		func(c *Config) { c.Shape = "square" },
+		func(c *Config) { c.Mix = Mix{Deadline: -1, Budget: 2} },
+	}
+	for i, mutate := range bad {
+		cfg := smallConfig()
+		mutate(&cfg)
+		if _, err := GenerateSchedule(cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+// TestRunInProcessSmoke is the end-to-end harness test: generate, run
+// against a fresh in-process server, and check the report invariants the CI
+// smoke job relies on (zero errors, sane quantiles, cache hits from the
+// cardinality dial).
+func TestRunInProcessSmoke(t *testing.T) {
+	cfg := smallConfig()
+	sched, err := GenerateSchedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, srv := NewInProcessTarget(server.Options{})
+	res, err := Run(context.Background(), sched, RunOptions{Target: target})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Overall.Errors != 0 {
+		t.Fatalf("smoke run produced %d errors; samples: %v", res.Overall.Errors, res.ErrorSamples)
+	}
+	if res.Overall.Requests == 0 {
+		t.Fatal("no measured requests")
+	}
+	if res.Warmed == 0 {
+		t.Error("no warmup requests fired before the measurement window")
+	}
+	if int(res.Overall.Requests)+int(res.Warmed) != len(sched.Requests) {
+		t.Errorf("measured %d + warmed %d != scheduled %d",
+			res.Overall.Requests, res.Warmed, len(sched.Requests))
+	}
+	// Cardinality 3 over ~60+ measured requests ⇒ nearly everything after
+	// the first few solves is a cache hit.
+	hitRatio := float64(res.Overall.CacheHits) / float64(res.Overall.Requests)
+	if hitRatio < 0.5 {
+		t.Errorf("cache hit ratio %.2f below 0.5 despite cardinality %d", hitRatio, cfg.Cardinality)
+	}
+	if m := srv.Metrics(); m.Solves == 0 || m.Solves > 3*int64(cfg.Cardinality) {
+		t.Errorf("server performed %d solves, want within (0, %d]", m.Solves, 3*cfg.Cardinality)
+	}
+
+	rep := BuildReport(sched.Config, "in-process", res, time.Time{})
+	if rep.Latency.P50Millis <= 0 || rep.Latency.P99Millis < rep.Latency.P50Millis {
+		t.Errorf("implausible latency summary %+v", rep.Latency)
+	}
+	if rep.ThroughputRPS <= 0 {
+		t.Errorf("throughput %v not positive", rep.ThroughputRPS)
+	}
+	if rep.ScheduleSHA256 != sched.Hash {
+		t.Error("report lost the schedule hash")
+	}
+
+	// Report round-trips through JSON with the schema version intact.
+	path := filepath.Join(t.TempDir(), "report.json")
+	if err := rep.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep, back) {
+		t.Error("report did not round-trip through JSON")
+	}
+	if !strings.Contains(rep.Table(), "endpoint") {
+		t.Error("table output missing header")
+	}
+
+	// The JSON document exposes the fields the ISSUE's schema names.
+	var raw map[string]any
+	data, _ := json.Marshal(rep)
+	if err := json.Unmarshal(data, &raw); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"schema_version", "config", "environment", "schedule_sha256",
+		"latency", "throughput_rps", "cache_hit_ratio", "error_rate", "endpoints"} {
+		if _, ok := raw[key]; !ok {
+			t.Errorf("report JSON missing %q", key)
+		}
+	}
+}
+
+func TestRunCanceled(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Duration = 10 * time.Second
+	sched, err := GenerateSchedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, _ := NewInProcessTarget(server.Options{})
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	if _, err := Run(ctx, sched, RunOptions{Target: target}); err == nil {
+		t.Fatal("canceled run returned nil error")
+	}
+}
+
+func reportPair() (*Report, *Report) {
+	base := &Report{
+		SchemaVersion:  SchemaVersion,
+		ScheduleSHA256: "abc",
+		Requests:       10_000,
+		ThroughputRPS:  100,
+		ErrorRate:      0,
+		CacheHitRatio:  0.9,
+		Latency:        LatencySummary{P50Millis: 1, P90Millis: 2, P95Millis: 3, P99Millis: 10, P999Millis: 20, MaxMillis: 30},
+		Endpoints: map[string]EndpointReport{
+			KindDeadline: {Requests: 50, Latency: LatencySummary{P99Millis: 10}},
+		},
+	}
+	cur := *base
+	cur.Endpoints = map[string]EndpointReport{
+		KindDeadline: {Requests: 50, Latency: LatencySummary{P99Millis: 10}},
+	}
+	return base, &cur
+}
+
+func TestCompareNoRegression(t *testing.T) {
+	base, cur := reportPair()
+	cmp := Compare(base, cur, 0.10)
+	if regs := cmp.Regressions(); len(regs) != 0 {
+		t.Fatalf("identical reports flagged regressions: %+v", regs)
+	}
+	if len(cmp.Warnings) != 0 {
+		t.Fatalf("identical reports produced warnings: %v", cmp.Warnings)
+	}
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	base, cur := reportPair()
+	cur.Latency.P99Millis = 12.5 // +25% and > grace ⇒ regression
+	cur.ThroughputRPS = 80       // −20% ⇒ regression
+	cur.ErrorRate = 0.05         // from zero ⇒ regression
+	cmp := Compare(base, cur, 0.10)
+	want := map[string]bool{"latency.p99_ms": true, "throughput_rps": true, "error_rate": true}
+	got := map[string]bool{}
+	for _, d := range cmp.Regressions() {
+		got[d.Metric] = true
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("regressions = %v, want %v", got, want)
+	}
+	if !strings.Contains(cmp.Format(), "REGRESSION") {
+		t.Error("Format output missing REGRESSION marker")
+	}
+}
+
+// TestCompareGrace checks the noise guards: a large relative move of a
+// tiny latency stays inside the absolute grace, a hit-ratio drop never
+// gates, max never gates, and tail percentiles without enough samples
+// beyond them (p99.9 of a 200-request run) report Worse but don't gate.
+func TestCompareGrace(t *testing.T) {
+	base, cur := reportPair()
+	base.Latency.P50Millis = 0.003 // 3µs
+	cur.Latency.P50Millis = 0.010  // 10µs: +233% but within 0.25ms grace
+	cur.CacheHitRatio = 0.2
+	cur.Latency.MaxMillis = base.Latency.MaxMillis * 10
+	base.Requests, cur.Requests = 200, 200
+	cur.Latency.P999Millis = base.Latency.P999Millis * 2 // 0.2 tail samples: noise
+	cmp := Compare(base, cur, 0.10)
+	for _, d := range cmp.Regressions() {
+		switch d.Metric {
+		case "latency.p50_ms", "cache_hit_ratio", "latency.max_ms", "latency.p999_ms":
+			t.Errorf("%s should not gate (delta %+.1f%%)", d.Metric, d.DeltaPct)
+		}
+	}
+}
+
+func TestCompareWarnsOnScheduleMismatch(t *testing.T) {
+	base, cur := reportPair()
+	cur.ScheduleSHA256 = "different"
+	cmp := Compare(base, cur, 0.10)
+	if len(cmp.Warnings) == 0 {
+		t.Fatal("schedule mismatch produced no warning")
+	}
+}
+
+func TestReadReportRejectsSchemaMismatch(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "old.json")
+	var buf bytes.Buffer
+	rep := &Report{SchemaVersion: SchemaVersion + 1}
+	if err := rep.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadReport(path); err == nil {
+		t.Fatal("schema mismatch accepted")
+	}
+}

@@ -1,0 +1,160 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// latencyGraceMillis is the absolute slack added to every latency
+// comparison: sub-millisecond jitter between runs (scheduler noise, cache
+// warmup order) should not flag a regression even when it is a large
+// *relative* change of a tiny number.
+const latencyGraceMillis = 0.25
+
+// minTailSamples is how many observations must lie beyond a percentile for
+// it to gate: a p99.9 estimated from two requests is a coin flip, not a
+// regression signal. With fewer samples the delta is still reported, just
+// marked Worse rather than Regression.
+const minTailSamples = 5
+
+// MetricDelta is one metric's before/after pair.
+type MetricDelta struct {
+	// Metric is the dotted name, e.g. "latency.p99_ms" or
+	// "endpoints.deadline.latency.p99_ms".
+	Metric string  `json:"metric"`
+	Base   float64 `json:"base"`
+	New    float64 `json:"new"`
+	// DeltaPct is (New−Base)/Base·100, +Inf-free: 0 when Base is 0.
+	DeltaPct float64 `json:"delta_pct"`
+	// Worse reports whether the move is in the bad direction for this
+	// metric (up for latency/errors, down for throughput/hit ratio).
+	Worse bool `json:"worse"`
+	// Regression reports whether the move is worse by more than the
+	// threshold — the condition that flips the CLI exit code.
+	Regression bool `json:"regression"`
+}
+
+// Comparison is the outcome of diffing a run against a baseline.
+type Comparison struct {
+	Threshold float64       `json:"threshold"`
+	Deltas    []MetricDelta `json:"deltas"`
+	// Warnings note apples-to-oranges conditions (environment or schedule
+	// mismatch) that don't gate, but belong in the log.
+	Warnings []string `json:"warnings,omitempty"`
+}
+
+// Regressions returns the deltas that crossed the threshold.
+func (c *Comparison) Regressions() []MetricDelta {
+	var out []MetricDelta
+	for _, d := range c.Deltas {
+		if d.Regression {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Compare diffs cur against base with a relative regression threshold
+// (0.10 = 10% worse fails). Latency percentiles gate with an extra
+// absolute grace of latencyGraceMillis and only when both runs have at
+// least minTailSamples observations beyond the percentile (max never
+// gates: it is a single sample by construction); throughput gates on
+// relative drop; error rate gates on any increase beyond
+// max(threshold·base, 0.1pp). Cache hit ratio is reported but never gates:
+// it is a property of the workload dial, not the code under test.
+func Compare(base, cur *Report, threshold float64) *Comparison {
+	c := &Comparison{Threshold: threshold}
+	if base.ScheduleSHA256 != cur.ScheduleSHA256 {
+		c.Warnings = append(c.Warnings, fmt.Sprintf(
+			"schedules differ (base %.12s…, new %.12s…): the runs replay different workloads",
+			base.ScheduleSHA256, cur.ScheduleSHA256))
+	}
+	if be, ce := base.Environment, cur.Environment; be.GOARCH != ce.GOARCH || be.NumCPU != ce.NumCPU {
+		c.Warnings = append(c.Warnings, fmt.Sprintf(
+			"environments differ (base %s/%d CPUs, new %s/%d CPUs)",
+			be.GOARCH, be.NumCPU, ce.GOARCH, ce.NumCPU))
+	}
+
+	// Tail-sample guards count successful requests only: the latency
+	// histograms never see errored requests.
+	c.compareLatency("latency", base.Latency, cur.Latency, threshold,
+		min(base.Requests-base.Errors, cur.Requests-cur.Errors))
+	c.add("throughput_rps", base.ThroughputRPS, cur.ThroughputRPS,
+		cur.ThroughputRPS < base.ThroughputRPS,
+		cur.ThroughputRPS < base.ThroughputRPS*(1-threshold))
+	errGate := threshold * base.ErrorRate
+	if errGate < 0.001 {
+		errGate = 0.001
+	}
+	c.add("error_rate", base.ErrorRate, cur.ErrorRate,
+		cur.ErrorRate > base.ErrorRate,
+		cur.ErrorRate > base.ErrorRate+errGate)
+	c.add("cache_hit_ratio", base.CacheHitRatio, cur.CacheHitRatio,
+		cur.CacheHitRatio < base.CacheHitRatio, false)
+
+	for _, name := range base.sortedEndpointNames() {
+		bep := base.Endpoints[name]
+		cep, ok := cur.Endpoints[name]
+		if !ok {
+			c.Warnings = append(c.Warnings, fmt.Sprintf("endpoint %q present in baseline but absent from the new run", name))
+			continue
+		}
+		c.compareLatency("endpoints."+name+".latency", bep.Latency, cep.Latency, threshold,
+			min(bep.Requests-bep.Errors, cep.Requests-cep.Errors))
+	}
+	return c
+}
+
+func (c *Comparison) compareLatency(prefix string, base, cur LatencySummary, threshold float64, requests int64) {
+	pairs := []struct {
+		name      string
+		quantile  float64 // 1 means "max": a single sample, never gates
+		base, cur float64
+	}{
+		{"p50_ms", 0.50, base.P50Millis, cur.P50Millis},
+		{"p90_ms", 0.90, base.P90Millis, cur.P90Millis},
+		{"p95_ms", 0.95, base.P95Millis, cur.P95Millis},
+		{"p99_ms", 0.99, base.P99Millis, cur.P99Millis},
+		{"p999_ms", 0.999, base.P999Millis, cur.P999Millis},
+		{"max_ms", 1, base.MaxMillis, cur.MaxMillis},
+	}
+	for _, p := range pairs {
+		tailSamples := float64(requests) * (1 - p.quantile)
+		c.add(prefix+"."+p.name, p.base, p.cur,
+			p.cur > p.base,
+			tailSamples >= minTailSamples && p.cur > p.base*(1+threshold)+latencyGraceMillis)
+	}
+}
+
+func (c *Comparison) add(metric string, base, cur float64, worse, regression bool) {
+	d := MetricDelta{Metric: metric, Base: base, New: cur, Worse: worse, Regression: regression}
+	if base != 0 {
+		d.DeltaPct = (cur - base) / base * 100
+	}
+	c.Deltas = append(c.Deltas, d)
+}
+
+// Format renders the comparison for terminal output.
+func (c *Comparison) Format() string {
+	var b strings.Builder
+	for _, w := range c.Warnings {
+		fmt.Fprintf(&b, "warning: %s\n", w)
+	}
+	fmt.Fprintf(&b, "%-40s %12s %12s %9s\n", "metric", "baseline", "new", "delta")
+	for _, d := range c.Deltas {
+		mark := ""
+		switch {
+		case d.Regression:
+			mark = "  REGRESSION"
+		case d.Worse:
+			mark = "  worse"
+		}
+		fmt.Fprintf(&b, "%-40s %12.4g %12.4g %+8.1f%%%s\n", d.Metric, d.Base, d.New, d.DeltaPct, mark)
+	}
+	if n := len(c.Regressions()); n > 0 {
+		fmt.Fprintf(&b, "%d metric(s) regressed beyond the %.0f%% threshold\n", n, c.Threshold*100)
+	} else {
+		fmt.Fprintf(&b, "no regressions beyond the %.0f%% threshold\n", c.Threshold*100)
+	}
+	return b.String()
+}

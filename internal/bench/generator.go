@@ -1,0 +1,401 @@
+// Package bench is the load-generation and continuous-benchmark harness for
+// the pricing daemon: it replays NHPP-scheduled pricing requests (the
+// paper's Section 5 arrival model) against internal/server, measures
+// coordinated-omission-safe latency into the shared internal/hdr
+// histogram, and emits machine-readable reports that CI diffs run-over-run.
+//
+// The pipeline is generator → runner → report → compare:
+//
+//   - GenerateSchedule turns a Config (seed, rate, mix, fingerprint
+//     cardinality, problem size) into a deterministic open-loop request
+//     schedule: every arrival time, problem kind, and problem body is a pure
+//     function of the seed.
+//   - Run fires the schedule at an in-process or remote HTTP target,
+//     timing each request from its *scheduled* start so queueing delay is
+//     charged to latency (no coordinated omission).
+//   - BuildReport summarizes the run (percentiles, throughput, error rate,
+//     cache hit ratio, per-endpoint breakdown) as JSON + a human table.
+//   - Compare diffs two reports metric-by-metric against a regression
+//     threshold, the basis for the CI exit code.
+package bench
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+	"time"
+
+	"crowdpricing/internal/dist"
+	"crowdpricing/internal/nhpp"
+	"crowdpricing/internal/rate"
+	"crowdpricing/internal/server"
+)
+
+// Size selects the generated problem scale. Larger sizes stress the solver;
+// smaller sizes stress the HTTP/cache path.
+type Size string
+
+// Problem scales.
+const (
+	// SizeSmall solves in well under a millisecond cold — the right scale
+	// for cache/transport benchmarks and the CI smoke run.
+	SizeSmall Size = "small"
+	// SizeMedium is an intermediate scale.
+	SizeMedium Size = "medium"
+	// SizePaper matches the paper's experiments (N=200, 72 intervals):
+	// cold solves take milliseconds, so the cache hit-rate dial dominates
+	// throughput.
+	SizePaper Size = "paper"
+)
+
+// Shape selects the arrival-rate profile of the NHPP schedule.
+type Shape string
+
+// Arrival shapes.
+const (
+	// ShapeConstant is a homogeneous Poisson process at Config.Rate.
+	ShapeConstant Shape = "constant"
+	// ShapeDiurnal modulates Config.Rate with a ±60% sinusoid over the run
+	// window — a compressed version of the day/night cycle the paper
+	// estimates from mturk-tracker traffic (GaoP14 §5.2).
+	ShapeDiurnal Shape = "diurnal"
+)
+
+// Mix weights the three problem kinds in the generated workload. Weights
+// are relative; they need not sum to 1. A zero-value Mix defaults to
+// DefaultMix.
+type Mix struct {
+	Deadline float64 `json:"deadline"`
+	Budget   float64 `json:"budget"`
+	Tradeoff float64 `json:"tradeoff"`
+}
+
+// DefaultMix leans on the deadline solver (the expensive one) while keeping
+// the static solvers in the mix, mirroring the paper's emphasis.
+var DefaultMix = Mix{Deadline: 0.5, Budget: 0.3, Tradeoff: 0.2}
+
+func (m Mix) total() float64 { return m.Deadline + m.Budget + m.Tradeoff }
+
+// Config parameterizes schedule generation. All randomness derives from
+// Seed: equal configs generate byte-identical schedules.
+type Config struct {
+	// Seed drives every random draw (arrival times, kind picks, problem
+	// bodies).
+	Seed int64 `json:"seed"`
+	// Rate is the mean arrival rate in requests per second.
+	Rate float64 `json:"rate_rps"`
+	// Duration is the measurement window; Warmup precedes it and is
+	// excluded from statistics.
+	Duration time.Duration `json:"duration_ns"`
+	Warmup   time.Duration `json:"warmup_ns"`
+	// Mix weights the problem kinds (zero value = DefaultMix).
+	Mix Mix `json:"mix"`
+	// Cardinality is the number of distinct problems per kind — the cache
+	// hit-rate dial. With R total requests of a kind, the expected steady
+	// state hit ratio approaches 1 − cardinality/R.
+	Cardinality int `json:"cardinality"`
+	// Size selects the problem scale (default SizeSmall).
+	Size Size `json:"size"`
+	// Shape selects the arrival profile (default ShapeConstant).
+	Shape Shape `json:"shape"`
+}
+
+func (c *Config) normalized() (Config, error) {
+	out := *c
+	if out.Rate <= 0 {
+		return out, fmt.Errorf("bench: rate must be positive, got %v", out.Rate)
+	}
+	if out.Duration <= 0 {
+		return out, fmt.Errorf("bench: duration must be positive, got %v", out.Duration)
+	}
+	if out.Warmup < 0 {
+		return out, fmt.Errorf("bench: negative warmup %v", out.Warmup)
+	}
+	if out.Mix == (Mix{}) {
+		out.Mix = DefaultMix
+	}
+	if out.Mix.Deadline < 0 || out.Mix.Budget < 0 || out.Mix.Tradeoff < 0 || out.Mix.total() <= 0 {
+		return out, fmt.Errorf("bench: mix weights must be non-negative with a positive sum, got %+v", out.Mix)
+	}
+	if out.Cardinality <= 0 {
+		out.Cardinality = 16
+	}
+	switch out.Size {
+	case "":
+		out.Size = SizeSmall
+	case SizeSmall, SizeMedium, SizePaper:
+	default:
+		return out, fmt.Errorf("bench: unknown size %q (want %q, %q, or %q)", out.Size, SizeSmall, SizeMedium, SizePaper)
+	}
+	switch out.Shape {
+	case "":
+		out.Shape = ShapeConstant
+	case ShapeConstant, ShapeDiurnal:
+	default:
+		return out, fmt.Errorf("bench: unknown shape %q (want %q or %q)", out.Shape, ShapeConstant, ShapeDiurnal)
+	}
+	return out, nil
+}
+
+// Request kinds, matching the server's endpoint names.
+const (
+	KindDeadline = server.KindDeadline
+	KindBudget   = server.KindBudget
+	KindTradeoff = server.KindTradeoff
+)
+
+// Kinds lists the request kinds in canonical order.
+var Kinds = []string{KindDeadline, KindBudget, KindTradeoff}
+
+// Request is one scheduled pricing request. Exactly one of Deadline,
+// Budget, Tradeoff is non-nil according to Kind. Requests with the same
+// (Kind, ProblemID) share one problem body (and hence one server-side
+// fingerprint), which is what makes Cardinality a cache hit-rate dial.
+type Request struct {
+	// At is the scheduled fire time as an offset from run start (warmup
+	// included: requests with At < Config.Warmup warm the cache but are
+	// excluded from statistics).
+	At time.Duration
+	// Kind is KindDeadline, KindBudget, or KindTradeoff.
+	Kind string
+	// ProblemID identifies the problem body within its kind, in
+	// [0, Cardinality).
+	ProblemID int
+
+	Deadline *server.DeadlineRequest
+	Budget   *server.BudgetRequest
+	Tradeoff *server.TradeoffRequest
+}
+
+// Schedule is a fully materialized open-loop request schedule.
+type Schedule struct {
+	// Config is the normalized generating configuration.
+	Config Config
+	// Requests are sorted by At.
+	Requests []Request
+	// Hash is the SHA-256 over the normalized Config plus
+	// (At, Kind, ProblemID) of every request — two runs are replaying the
+	// same workload iff their hashes match. Covering the config matters:
+	// e.g. -size changes the problem bodies without moving a single
+	// arrival, so the request tuples alone would collide.
+	Hash string
+}
+
+// GenerateSchedule materializes the NHPP request schedule for cfg.
+// Deterministic: equal configs yield equal schedules, including problem
+// bodies, across runs and platforms.
+func GenerateSchedule(cfg Config) (*Schedule, error) {
+	norm, err := cfg.normalized()
+	if err != nil {
+		return nil, err
+	}
+	window := norm.Warmup + norm.Duration
+	windowHours := window.Hours()
+	ratePerHour := norm.Rate * 3600
+
+	var fn rate.Fn
+	switch norm.Shape {
+	case ShapeConstant:
+		fn = rate.Constant(ratePerHour)
+	case ShapeDiurnal:
+		// One full sinusoidal cycle across the run window, bucketed so the
+		// NHPP thinning bound stays tight. The factors average 1 over the
+		// cycle, preserving the configured mean rate.
+		const buckets = 12
+		factors := make([]float64, buckets)
+		for i := range factors {
+			factors[i] = ratePerHour * (1 + 0.6*math.Sin(2*math.Pi*float64(i)/buckets))
+		}
+		fn = rate.NewPiecewise(windowHours/buckets, factors)
+	}
+
+	r := dist.NewRNG(norm.Seed)
+	times := nhpp.New(fn).Events(r, 0, windowHours, 0)
+
+	problems := newProblemSet(norm)
+	reqs := make([]Request, 0, len(times))
+	for _, t := range times {
+		req := Request{
+			At:   time.Duration(t * float64(time.Hour)),
+			Kind: pickKind(r, norm.Mix),
+		}
+		req.ProblemID = r.Intn(norm.Cardinality)
+		problems.bind(&req)
+		reqs = append(reqs, req)
+	}
+	return &Schedule{Config: norm, Requests: reqs, Hash: hashSchedule(norm, reqs)}, nil
+}
+
+func pickKind(r *dist.RNG, m Mix) string {
+	u := r.Float64() * m.total()
+	switch {
+	case u < m.Deadline:
+		return KindDeadline
+	case u < m.Deadline+m.Budget:
+		return KindBudget
+	default:
+		return KindTradeoff
+	}
+}
+
+func hashSchedule(cfg Config, reqs []Request) string {
+	h := sha256.New()
+	// The normalized config pins everything the request tuples don't
+	// (problem scale, mix weights, rate); json.Marshal of a struct is
+	// deterministic (declaration field order).
+	cfgJSON, err := json.Marshal(cfg)
+	if err != nil {
+		panic("bench: Config not marshalable: " + err.Error())
+	}
+	h.Write(cfgJSON)
+	var buf [13]byte
+	for _, q := range reqs {
+		binary.LittleEndian.PutUint64(buf[0:8], uint64(q.At))
+		buf[8] = kindByte(q.Kind)
+		binary.LittleEndian.PutUint32(buf[9:13], uint32(q.ProblemID))
+		h.Write(buf[:])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func kindByte(kind string) byte {
+	for i, k := range Kinds {
+		if k == kind {
+			return byte(i)
+		}
+	}
+	return 0xff
+}
+
+// problemScale holds the per-Size structural parameters.
+type problemScale struct {
+	n         int
+	intervals int
+	horizon   float64 // hours
+	minPrice  int
+	maxPrice  int
+}
+
+var scales = map[Size]problemScale{
+	SizeSmall:  {n: 16, intervals: 8, horizon: 4, minPrice: 1, maxPrice: 25},
+	SizeMedium: {n: 50, intervals: 24, horizon: 24, minPrice: 1, maxPrice: 40},
+	SizePaper:  {n: 200, intervals: 72, horizon: 72, minPrice: 1, maxPrice: 50},
+}
+
+// problemSet lazily materializes the Cardinality distinct problem bodies
+// per kind. Bodies depend only on (seed, kind, id) — never on arrival
+// order — so the same logical problem is byte-identical across schedules,
+// shapes, and mixes, and maps to the same server-side fingerprint.
+type problemSet struct {
+	cfg      Config
+	scale    problemScale
+	deadline map[int]*server.DeadlineRequest
+	budget   map[int]*server.BudgetRequest
+	tradeoff map[int]*server.TradeoffRequest
+}
+
+func newProblemSet(cfg Config) *problemSet {
+	return &problemSet{
+		cfg:      cfg,
+		scale:    scales[cfg.Size],
+		deadline: make(map[int]*server.DeadlineRequest),
+		budget:   make(map[int]*server.BudgetRequest),
+		tradeoff: make(map[int]*server.TradeoffRequest),
+	}
+}
+
+// problemRNG derives the body RNG for (kind, id). The large odd multipliers
+// spread (seed, kind, id) triples over distinct seeds; dist.NewRNG then
+// mixes the seed through splitmix64, so nearby ids still decorrelate.
+func (ps *problemSet) problemRNG(kind string, id int) *dist.RNG {
+	return dist.NewRNG(ps.cfg.Seed + int64(kindByte(kind)+1)*1_000_003 + int64(id)*7_919)
+}
+
+func (ps *problemSet) bind(req *Request) {
+	switch req.Kind {
+	case KindDeadline:
+		req.Deadline = ps.deadlineProblem(req.ProblemID)
+	case KindBudget:
+		req.Budget = ps.budgetProblem(req.ProblemID)
+	case KindTradeoff:
+		req.Tradeoff = ps.tradeoffProblem(req.ProblemID)
+	}
+}
+
+// accept draws a mildly jittered Equation-3 acceptance curve around the
+// paper's fitted parameters (S=15, B=-0.39, M=2000). The logistic is
+// strictly positive at every price, so every generated problem is feasible
+// for every solver.
+func accept(r *dist.RNG) server.LogisticParams {
+	return server.LogisticParams{S: r.Uniform(10, 20), B: -0.39, M: 2000}
+}
+
+func (ps *problemSet) deadlineProblem(id int) *server.DeadlineRequest {
+	if p, ok := ps.deadline[id]; ok {
+		return p
+	}
+	r := ps.problemRNG(KindDeadline, id)
+	sc := ps.scale
+	lambdas := make([]float64, sc.intervals)
+	// Expected arrivals ≈ 2N over the horizon: enough that completing all
+	// tasks is plausible, so the DP explores the interesting price region.
+	perInterval := 2 * float64(sc.n) / float64(sc.intervals)
+	for t := range lambdas {
+		lambdas[t] = perInterval * r.Uniform(0.8, 1.6)
+	}
+	p := &server.DeadlineRequest{
+		N:            sc.n,
+		HorizonHours: sc.horizon,
+		Intervals:    sc.intervals,
+		Lambdas:      lambdas,
+		Accept:       accept(r),
+		MinPrice:     sc.minPrice,
+		MaxPrice:     sc.maxPrice,
+		Penalty:      4 * float64(sc.maxPrice),
+		TruncEps:     1e-6,
+	}
+	ps.deadline[id] = p
+	return p
+}
+
+func (ps *problemSet) budgetProblem(id int) *server.BudgetRequest {
+	if p, ok := ps.budget[id]; ok {
+		return p
+	}
+	r := ps.problemRNG(KindBudget, id)
+	sc := ps.scale
+	// Budget in [N·maxPrice, 2N·maxPrice]: always feasible (even pricing
+	// every task at maxPrice fits), so the hull solver never rejects.
+	p := &server.BudgetRequest{
+		N:        sc.n,
+		Budget:   sc.n*sc.maxPrice + r.Intn(sc.n*sc.maxPrice+1),
+		Accept:   accept(r),
+		MinPrice: sc.minPrice,
+		MaxPrice: sc.maxPrice,
+		Method:   server.BudgetMethodHull,
+	}
+	ps.budget[id] = p
+	return p
+}
+
+func (ps *problemSet) tradeoffProblem(id int) *server.TradeoffRequest {
+	if p, ok := ps.tradeoff[id]; ok {
+		return p
+	}
+	r := ps.problemRNG(KindTradeoff, id)
+	sc := ps.scale
+	p := &server.TradeoffRequest{
+		N:           sc.n,
+		Alpha:       r.Uniform(1, 10),
+		Lambda:      r.Uniform(50, 200),
+		Accept:      accept(r),
+		MinPrice:    sc.minPrice,
+		MaxPrice:    sc.maxPrice,
+		Formulation: server.TradeoffWorkerArrival,
+	}
+	ps.tradeoff[id] = p
+	return p
+}

@@ -1,0 +1,263 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"crowdpricing/internal/hdr"
+)
+
+// SchemaVersion identifies the BENCH_loadbench.json layout; bump it on any
+// incompatible change so compare can refuse mismatched baselines.
+const SchemaVersion = 1
+
+// LatencySummary is the percentile digest of one latency histogram, in
+// milliseconds. Successful requests only — errors are counted, not timed.
+type LatencySummary struct {
+	P50Millis  float64 `json:"p50_ms"`
+	P90Millis  float64 `json:"p90_ms"`
+	P95Millis  float64 `json:"p95_ms"`
+	P99Millis  float64 `json:"p99_ms"`
+	P999Millis float64 `json:"p999_ms"`
+	MaxMillis  float64 `json:"max_ms"`
+	MeanMillis float64 `json:"mean_ms"`
+}
+
+func summarize(h *hdr.Histogram) LatencySummary {
+	ms := func(ns int64) float64 { return float64(ns) / 1e6 }
+	return LatencySummary{
+		P50Millis:  ms(h.Quantile(0.50)),
+		P90Millis:  ms(h.Quantile(0.90)),
+		P95Millis:  ms(h.Quantile(0.95)),
+		P99Millis:  ms(h.Quantile(0.99)),
+		P999Millis: ms(h.Quantile(0.999)),
+		MaxMillis:  ms(h.Max()),
+		MeanMillis: h.Mean() / 1e6,
+	}
+}
+
+// EndpointReport is the per-kind slice of the run.
+type EndpointReport struct {
+	Requests      int64          `json:"requests"`
+	Errors        int64          `json:"errors"`
+	ErrorRate     float64        `json:"error_rate"`
+	CacheHits     int64          `json:"cache_hits"`
+	CacheHitRatio float64        `json:"cache_hit_ratio"`
+	Latency       LatencySummary `json:"latency"`
+}
+
+func endpointReport(ks *KindStats) EndpointReport {
+	rep := EndpointReport{
+		Requests:  ks.Requests,
+		Errors:    ks.Errors,
+		CacheHits: ks.CacheHits,
+		Latency:   summarize(ks.Latency),
+	}
+	if ks.Requests > 0 {
+		rep.ErrorRate = float64(ks.Errors) / float64(ks.Requests)
+	}
+	if ok := ks.Requests - ks.Errors; ok > 0 {
+		rep.CacheHitRatio = float64(ks.CacheHits) / float64(ok)
+	}
+	return rep
+}
+
+// Environment records where the numbers were taken; comparisons across
+// differing environments are apples-to-oranges and compare warns on them.
+type Environment struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Timestamp  string `json:"timestamp,omitempty"`
+}
+
+func captureEnvironment(now time.Time) Environment {
+	env := Environment{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	if !now.IsZero() {
+		env.Timestamp = now.UTC().Format(time.RFC3339)
+	}
+	return env
+}
+
+// ReportConfig echoes the workload configuration plus the target it ran
+// against.
+type ReportConfig struct {
+	Config
+	// Target is "in-process" or the daemon URL.
+	Target string `json:"target"`
+}
+
+// Report is the machine-readable benchmark artifact (BENCH_loadbench.json).
+type Report struct {
+	SchemaVersion  int          `json:"schema_version"`
+	Config         ReportConfig `json:"config"`
+	Environment    Environment  `json:"environment"`
+	ScheduleSHA256 string       `json:"schedule_sha256"`
+
+	// Totals over the measurement window (warmup excluded).
+	DurationSeconds float64 `json:"duration_seconds"`
+	WarmupRequests  int64   `json:"warmup_requests"`
+	Requests        int64   `json:"requests"`
+	Errors          int64   `json:"errors"`
+	ErrorRate       float64 `json:"error_rate"`
+	CacheHits       int64   `json:"cache_hits"`
+	CacheHitRatio   float64 `json:"cache_hit_ratio"`
+	ThroughputRPS   float64 `json:"throughput_rps"`
+
+	Latency   LatencySummary            `json:"latency"`
+	Endpoints map[string]EndpointReport `json:"endpoints"`
+
+	ErrorSamples []string `json:"error_samples,omitempty"`
+}
+
+// BuildReport digests a run into the serializable report. now stamps the
+// environment (pass time.Now() from main; tests may pass the zero time for
+// byte-stable output).
+func BuildReport(cfg Config, target string, res *Result, now time.Time) *Report {
+	rep := &Report{
+		SchemaVersion:  SchemaVersion,
+		Config:         ReportConfig{Config: cfg, Target: target},
+		Environment:    captureEnvironment(now),
+		ScheduleSHA256: res.ScheduleHash,
+
+		DurationSeconds: res.Elapsed.Seconds(),
+		WarmupRequests:  res.Warmed,
+		Requests:        res.Overall.Requests,
+		Errors:          res.Overall.Errors,
+		CacheHits:       res.Overall.CacheHits,
+		Latency:         summarize(res.Overall.Latency),
+		Endpoints:       make(map[string]EndpointReport, len(res.ByKind)),
+		ErrorSamples:    res.ErrorSamples,
+	}
+	if rep.Requests > 0 {
+		rep.ErrorRate = float64(rep.Errors) / float64(rep.Requests)
+	}
+	if ok := rep.Requests - rep.Errors; ok > 0 {
+		rep.CacheHitRatio = float64(rep.CacheHits) / float64(ok)
+	}
+	if res.Elapsed > 0 {
+		rep.ThroughputRPS = float64(rep.Requests-rep.Errors) / res.Elapsed.Seconds()
+	}
+	for kind, ks := range res.ByKind {
+		if ks.Requests == 0 {
+			continue
+		}
+		rep.Endpoints[kind] = endpointReport(ks)
+	}
+	return rep
+}
+
+// WriteJSON writes the report, indented, to path.
+func (r *Report) WriteJSON(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.Encode(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Encode writes the report as indented JSON.
+func (r *Report) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadReport loads a report written by WriteJSON and checks its schema
+// version.
+func ReadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	if rep.SchemaVersion != SchemaVersion {
+		return nil, fmt.Errorf("bench: %s has schema version %d, this binary expects %d", path, rep.SchemaVersion, SchemaVersion)
+	}
+	return &rep, nil
+}
+
+// Table renders the human-readable summary the CLI prints.
+func (r *Report) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "target %s · seed %d · %s problems · mix d=%g b=%g t=%g · cardinality %d · shape %s\n",
+		r.Config.Target, r.Config.Seed, r.Config.Size,
+		r.Config.Mix.Deadline, r.Config.Mix.Budget, r.Config.Mix.Tradeoff,
+		r.Config.Cardinality, r.Config.Shape)
+	fmt.Fprintf(&b, "measured %.1fs · %d requests (%d warmup excluded) · %.1f req/s · errors %d (%.2f%%) · cache hit %.1f%%\n",
+		r.DurationSeconds, r.Requests, r.WarmupRequests, r.ThroughputRPS,
+		r.Errors, 100*r.ErrorRate, 100*r.CacheHitRatio)
+
+	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "endpoint\treqs\terr\thit%\tp50\tp90\tp95\tp99\tp99.9\tmax")
+	row := func(name string, reqs, errs int64, hitRatio float64, l LatencySummary) {
+		fmt.Fprintf(w, "%s\t%d\t%d\t%.1f\t%s\t%s\t%s\t%s\t%s\t%s\n",
+			name, reqs, errs, 100*hitRatio,
+			fmtMillis(l.P50Millis), fmtMillis(l.P90Millis), fmtMillis(l.P95Millis),
+			fmtMillis(l.P99Millis), fmtMillis(l.P999Millis), fmtMillis(l.MaxMillis))
+	}
+	row("all", r.Requests, r.Errors, r.CacheHitRatio, r.Latency)
+	for _, kind := range Kinds {
+		ep, ok := r.Endpoints[kind]
+		if !ok {
+			continue
+		}
+		row(kind, ep.Requests, ep.Errors, ep.CacheHitRatio, ep.Latency)
+	}
+	w.Flush()
+	if len(r.ErrorSamples) > 0 {
+		fmt.Fprintf(&b, "error samples:\n")
+		for _, s := range r.ErrorSamples {
+			fmt.Fprintf(&b, "  %s\n", s)
+		}
+	}
+	return b.String()
+}
+
+// fmtMillis renders a millisecond value at a precision matched to its
+// magnitude (3.1µs, 4.20ms, 1.3s).
+func fmtMillis(ms float64) string {
+	switch {
+	case ms <= 0:
+		return "0"
+	case ms < 1:
+		return fmt.Sprintf("%.1fµs", ms*1000)
+	case ms < 1000:
+		return fmt.Sprintf("%.2fms", ms)
+	default:
+		return fmt.Sprintf("%.2fs", ms/1000)
+	}
+}
+
+// sortedEndpointNames returns the report's endpoint keys in canonical
+// order, for deterministic iteration in compare.
+func (r *Report) sortedEndpointNames() []string {
+	names := make([]string, 0, len(r.Endpoints))
+	for k := range r.Endpoints {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,248 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"crowdpricing/internal/hdr"
+	"crowdpricing/internal/server"
+)
+
+// Target abstracts where the load goes: an in-process handler or a remote
+// daemon over real sockets. Do must be safe for concurrent use.
+type Target interface {
+	// Do executes one request and reports whether the daemon served it from
+	// its policy cache.
+	Do(ctx context.Context, req *Request) (cacheHit bool, err error)
+}
+
+// ClientTarget drives a pricing daemon through the typed server.Client —
+// the same code path production clients use.
+type ClientTarget struct {
+	Client *server.Client
+}
+
+// NewHTTPTarget returns a Target for a remote daemon at baseURL. The
+// client's connection pool is sized for load generation: the default
+// transport keeps only two idle connections per host, which would make an
+// open-loop burst churn TCP handshakes and charge them to the daemon's
+// latency.
+func NewHTTPTarget(baseURL string) *ClientTarget {
+	c := server.NewClient(baseURL)
+	t := http.DefaultTransport.(*http.Transport).Clone()
+	t.MaxIdleConns = 0 // no global idle cap
+	t.MaxIdleConnsPerHost = 1024
+	c.HTTP = &http.Client{Transport: t}
+	return &ClientTarget{Client: c}
+}
+
+// NewInProcessTarget builds a fresh pricing server and a Target whose HTTP
+// round trips dispatch straight into its handler — the full mux, decode,
+// cache, and singleflight stack with zero sockets, so the benchmark runs
+// hermetically (CI-safe) and measures the service rather than the loopback
+// device. The server is returned too so callers can scrape its metrics.
+func NewInProcessTarget(opts server.Options) (*ClientTarget, *server.Server) {
+	srv := server.New(opts)
+	client := server.NewClient("http://in-process")
+	client.HTTP = &http.Client{Transport: handlerTransport{h: srv.Handler()}}
+	return &ClientTarget{Client: client}, srv
+}
+
+// handlerTransport serves round trips by invoking an http.Handler directly.
+type handlerTransport struct {
+	h http.Handler
+}
+
+func (t handlerTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	rec := httptest.NewRecorder()
+	t.h.ServeHTTP(rec, req)
+	res := rec.Result()
+	res.Request = req
+	return res, nil
+}
+
+// Do implements Target.
+func (t *ClientTarget) Do(ctx context.Context, req *Request) (bool, error) {
+	var resp *server.SolveResponse
+	var err error
+	switch req.Kind {
+	case KindDeadline:
+		resp, err = t.Client.SolveDeadline(ctx, *req.Deadline)
+	case KindBudget:
+		resp, err = t.Client.SolveBudget(ctx, *req.Budget)
+	case KindTradeoff:
+		resp, err = t.Client.SolveTradeoff(ctx, *req.Tradeoff)
+	default:
+		return false, fmt.Errorf("bench: unknown request kind %q", req.Kind)
+	}
+	if err != nil {
+		return false, err
+	}
+	return resp.CacheHit, nil
+}
+
+// RunOptions tunes schedule execution.
+type RunOptions struct {
+	// Target receives the load. Required.
+	Target Target
+	// MaxConcurrent caps in-flight requests so a stalled target cannot
+	// spawn unbounded goroutines (0 = 4096). Requests delayed by the cap
+	// still charge the delay to their measured latency — the schedule, not
+	// the responses, drives send times.
+	MaxConcurrent int
+}
+
+// KindStats aggregates one endpoint's (or the whole run's) measured
+// requests.
+type KindStats struct {
+	Requests  int64
+	Errors    int64
+	CacheHits int64
+	// Latency holds response times measured from each request's scheduled
+	// start (coordinated-omission-safe).
+	Latency *hdr.Histogram
+}
+
+// Result is the raw outcome of executing a schedule; BuildReport turns it
+// into the serializable report.
+type Result struct {
+	// ScheduleHash echoes Schedule.Hash.
+	ScheduleHash string
+	// Warmed counts warmup-phase requests (fired, excluded from stats).
+	Warmed int64
+	// Overall aggregates every measured request; ByKind splits per problem
+	// kind.
+	Overall *KindStats
+	ByKind  map[string]*KindStats
+	// Elapsed is the wall time of the measurement window (end of warmup to
+	// last response).
+	Elapsed time.Duration
+	// ErrorSamples holds up to a handful of distinct error strings for
+	// diagnosis.
+	ErrorSamples []string
+}
+
+// maxErrorSamples bounds how many error strings a Result retains.
+const maxErrorSamples = 8
+
+// Run executes the schedule open-loop against opts.Target: each request
+// fires at its scheduled offset regardless of how earlier requests are
+// doing, and its latency runs from the scheduled instant to the response —
+// queueing caused by a slow target is charged to the target, not silently
+// dropped (the coordinated-omission trap of closed-loop harnesses).
+//
+// Run returns early with ctx's error if the context is canceled
+// mid-schedule; in-flight requests are awaited either way.
+func Run(ctx context.Context, sched *Schedule, opts RunOptions) (*Result, error) {
+	if opts.Target == nil {
+		return nil, fmt.Errorf("bench: RunOptions.Target is required")
+	}
+	maxConc := opts.MaxConcurrent
+	if maxConc <= 0 {
+		maxConc = 4096
+	}
+
+	res := &Result{
+		ScheduleHash: sched.Hash,
+		Overall:      &KindStats{Latency: hdr.New()},
+		ByKind:       make(map[string]*KindStats, len(Kinds)),
+	}
+	for _, k := range Kinds {
+		res.ByKind[k] = &KindStats{Latency: hdr.New()}
+	}
+
+	var (
+		warmed    atomic.Int64
+		mu        sync.Mutex // guards ErrorSamples and the KindStats counters
+		wg        sync.WaitGroup
+		sem       = make(chan struct{}, maxConc)
+		start     = time.Now()
+		warmupDur = sched.Config.Warmup
+		canceled  error
+	)
+
+	timer := time.NewTimer(0)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
+
+schedule:
+	for i := range sched.Requests {
+		req := &sched.Requests[i]
+		wait := time.Until(start.Add(req.At))
+		if wait > 0 {
+			timer.Reset(wait)
+			select {
+			case <-ctx.Done():
+				canceled = ctx.Err()
+				if !timer.Stop() {
+					<-timer.C
+				}
+				break schedule
+			case <-timer.C:
+			}
+		} else if ctx.Err() != nil {
+			canceled = ctx.Err()
+			break schedule
+		}
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			canceled = ctx.Err()
+			break schedule
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			scheduled := start.Add(req.At)
+			hit, err := opts.Target.Do(ctx, req)
+			latency := time.Since(scheduled)
+			if req.At < warmupDur {
+				warmed.Add(1)
+				return
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			ks, ok := res.ByKind[req.Kind]
+			if !ok {
+				// Unknown kinds still count (Do reports them as errors)
+				// instead of panicking on a nil entry.
+				ks = &KindStats{Latency: hdr.New()}
+				res.ByKind[req.Kind] = ks
+			}
+			res.Overall.Requests++
+			ks.Requests++
+			if err != nil {
+				res.Overall.Errors++
+				ks.Errors++
+				if len(res.ErrorSamples) < maxErrorSamples {
+					res.ErrorSamples = append(res.ErrorSamples, fmt.Sprintf("%s: %v", req.Kind, err))
+				}
+				return
+			}
+			if hit {
+				res.Overall.CacheHits++
+				ks.CacheHits++
+			}
+			res.Overall.Latency.Record(latency)
+			ks.Latency.Record(latency)
+		}()
+	}
+	wg.Wait()
+	res.Warmed = warmed.Load()
+	res.Elapsed = time.Since(start.Add(warmupDur))
+	if res.Elapsed < 0 {
+		res.Elapsed = 0
+	}
+	if canceled != nil {
+		return res, fmt.Errorf("bench: run canceled after %d measured requests: %w", res.Overall.Requests, canceled)
+	}
+	return res, nil
+}

@@ -1,0 +1,164 @@
+package hdr
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"crowdpricing/internal/dist"
+)
+
+// TestSlotRoundTrip checks the bucket geometry: every value maps into a
+// slot whose bounds contain it, and the relative bucket width is bounded by
+// 2^-subBucketBits.
+func TestSlotRoundTrip(t *testing.T) {
+	values := []int64{0, 1, 31, 32, 33, 63, 64, 65, 127, 128, 1000, 4096,
+		123456, 1 << 20, 1<<30 + 12345, 1 << 40, 1 << 62, math.MaxInt64}
+	for _, v := range values {
+		s := slot(v)
+		if s < 0 || s >= slotCount {
+			t.Fatalf("slot(%d) = %d out of range [0, %d)", v, s, slotCount)
+		}
+		upper := slotUpper(s)
+		if upper < v {
+			t.Errorf("slotUpper(slot(%d)) = %d < value", v, upper)
+		}
+		if s > 0 {
+			lower := slotUpper(s-1) + 1
+			if lower > v {
+				t.Errorf("value %d below its bucket's lower bound %d", v, lower)
+			}
+			if v >= subBucketCount {
+				relErr := float64(upper-v) / float64(v)
+				if relErr > 1.0/subBucketCount {
+					t.Errorf("value %d: bucket upper %d relative error %.4f > %.4f",
+						v, upper, relErr, 1.0/subBucketCount)
+				}
+			}
+		}
+	}
+}
+
+// TestSlotMonotonic walks a geometric sweep of values and checks slots never
+// decrease (bucket ordering is total).
+func TestSlotMonotonic(t *testing.T) {
+	prev := -1
+	for v := int64(0); v < 1<<40; v = v*2 + 1 {
+		s := slot(v)
+		if s < prev {
+			t.Fatalf("slot(%d) = %d < previous slot %d", v, s, prev)
+		}
+		prev = s
+	}
+}
+
+func TestQuantilesAgainstExactUniform(t *testing.T) {
+	h := New()
+	const n = 100_000
+	// 1..n microseconds: exact quantile q is q·n µs.
+	for i := 1; i <= n; i++ {
+		h.RecordValue(int64(i) * 1000)
+	}
+	if h.Count() != n {
+		t.Fatalf("count = %d, want %d", h.Count(), n)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99, 0.999} {
+		got := float64(h.Quantile(q))
+		want := q * n * 1000
+		if relDiff := math.Abs(got-want) / want; relDiff > 1.0/subBucketCount+0.001 {
+			t.Errorf("q%.3f = %.0f, want ≈ %.0f (rel diff %.4f)", q, got, want, relDiff)
+		}
+	}
+	if h.Max() != n*1000 {
+		t.Errorf("max = %d, want %d", h.Max(), n*1000)
+	}
+	if h.Min() != 1000 {
+		t.Errorf("min = %d, want 1000", h.Min())
+	}
+	if h.Quantile(1) != h.Max() {
+		t.Errorf("Quantile(1) = %d, want exact max %d", h.Quantile(1), h.Max())
+	}
+	if mean := h.Mean(); math.Abs(mean-(n+1)*500) > 1e-6 {
+		t.Errorf("mean = %v, want %v (exact)", mean, (n+1)*500)
+	}
+}
+
+func TestEmptyHistogram(t *testing.T) {
+	h := New()
+	if h.Count() != 0 || h.Quantile(0.99) != 0 || h.Max() != 0 || h.Min() != 0 || h.Mean() != 0 {
+		t.Errorf("empty histogram should read all zeros, got count=%d q99=%d max=%d min=%d mean=%v",
+			h.Count(), h.Quantile(0.99), h.Max(), h.Min(), h.Mean())
+	}
+}
+
+func TestCountAtOrBelow(t *testing.T) {
+	h := New()
+	for _, ms := range []int64{1, 2, 5, 10, 100} {
+		h.RecordValue(ms * int64(time.Millisecond))
+	}
+	cases := []struct {
+		at   time.Duration
+		want int64
+	}{
+		{500 * time.Microsecond, 0},
+		{3 * time.Millisecond, 2},
+		{50 * time.Millisecond, 4},
+		{time.Second, 5},
+	}
+	for _, c := range cases {
+		if got := h.CountAtOrBelow(int64(c.at)); got != c.want {
+			t.Errorf("CountAtOrBelow(%v) = %d, want %d", c.at, got, c.want)
+		}
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, b := New(), New()
+	r := dist.NewRNG(7)
+	all := New()
+	for i := 0; i < 10_000; i++ {
+		v := int64(r.Uniform(1000, 5e7))
+		if i%2 == 0 {
+			a.RecordValue(v)
+		} else {
+			b.RecordValue(v)
+		}
+		all.RecordValue(v)
+	}
+	a.Merge(b)
+	if a.Count() != all.Count() || a.Sum() != all.Sum() || a.Max() != all.Max() || a.Min() != all.Min() {
+		t.Fatalf("merge mismatch: count %d/%d sum %d/%d max %d/%d min %d/%d",
+			a.Count(), all.Count(), a.Sum(), all.Sum(), a.Max(), all.Max(), a.Min(), all.Min())
+	}
+	for _, q := range []float64{0.5, 0.99, 0.999} {
+		if a.Quantile(q) != all.Quantile(q) {
+			t.Errorf("q%.3f: merged %d vs direct %d", q, a.Quantile(q), all.Quantile(q))
+		}
+	}
+}
+
+// TestConcurrentRecord drives Record from many goroutines under -race and
+// checks the exact aggregates.
+func TestConcurrentRecord(t *testing.T) {
+	h := New()
+	const workers, per = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := dist.NewRNG(seed)
+			for i := 0; i < per; i++ {
+				h.RecordValue(int64(r.Uniform(0, 1e9)))
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Fatalf("count = %d, want %d", h.Count(), workers*per)
+	}
+	if h.CountAtOrBelow(math.MaxInt64) != workers*per {
+		t.Fatalf("cumulative count = %d, want %d", h.CountAtOrBelow(math.MaxInt64), workers*per)
+	}
+}

@@ -18,7 +18,7 @@
 //	POST /v1/solve/tradeoff   cost/latency trade-off policy   (Section 6)
 //	POST /v1/solve/batch      many problems, one round trip
 //	GET  /healthz             liveness + uptime
-//	GET  /metrics             Prometheus-format counters
+//	GET  /metrics             Prometheus-format counters + latency histogram
 //
 // cmd/priced wraps this package in a binary; the root crowdpricing package
 // re-exports the client-facing types.
@@ -30,11 +30,14 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"crowdpricing/internal/core"
+	"crowdpricing/internal/hdr"
 )
 
 // Defaults for Options zero values.
@@ -77,6 +80,13 @@ type Server struct {
 	mux    *http.ServeMux
 	start  time.Time
 
+	// latency holds one request-duration histogram per route, recorded
+	// around the full handler (decode + cache + solve + encode) and
+	// rendered as a Prometheus histogram on /metrics. It is the same
+	// log-bucketed instrument the loadbench harness uses, so benchmark
+	// reports and production scrapes bin latency identically.
+	latency map[string]*hdr.Histogram
+
 	// Every solve request increments exactly one of cacheHits (served from
 	// cache, whether on the fast path or the singleflight double-check) or
 	// cacheMisses (waited on a solver — its own or one it joined), so
@@ -98,18 +108,30 @@ func New(opts Options) *Server {
 		opts.RequestTimeout = DefaultRequestTimeout
 	}
 	s := &Server{
-		opts:  opts,
-		cache: newPolicyCache(opts.CacheSize),
-		mux:   http.NewServeMux(),
-		start: time.Now(),
+		opts:    opts,
+		cache:   newPolicyCache(opts.CacheSize),
+		mux:     http.NewServeMux(),
+		start:   time.Now(),
+		latency: make(map[string]*hdr.Histogram),
 	}
-	s.mux.HandleFunc("/v1/solve/deadline", s.post(s.handleDeadline))
-	s.mux.HandleFunc("/v1/solve/budget", s.post(s.handleBudget))
-	s.mux.HandleFunc("/v1/solve/tradeoff", s.post(s.handleTradeoff))
-	s.mux.HandleFunc("/v1/solve/batch", s.post(s.handleBatch))
-	s.mux.HandleFunc("/healthz", s.handleHealthz)
-	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.route("/v1/solve/deadline", s.post(s.handleDeadline))
+	s.route("/v1/solve/budget", s.post(s.handleBudget))
+	s.route("/v1/solve/tradeoff", s.post(s.handleTradeoff))
+	s.route("/v1/solve/batch", s.post(s.handleBatch))
+	s.route("/healthz", s.handleHealthz)
+	s.route("/metrics", s.handleMetrics)
 	return s
+}
+
+// route registers h at path wrapped with per-endpoint latency recording.
+func (s *Server) route(path string, h http.HandlerFunc) {
+	hist := hdr.New()
+	s.latency[path] = hist
+	s.mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+		begin := time.Now()
+		h(w, r)
+		hist.Record(time.Since(begin))
+	})
 }
 
 // Handler returns the HTTP handler serving the full API surface.
@@ -483,30 +505,65 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// latencyBuckets are the `le` bounds (seconds) of the request-duration
+// histogram exposed on /metrics, spanning warm cache hits (microseconds)
+// through paper-scale cold solves (seconds). Cumulative counts are resolved
+// at the underlying hdr bucket granularity (≤3.1% relative error).
+var latencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
 	m := s.Metrics()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	for _, row := range []struct {
-		name, help string
-		value      int64
+		name, typ, help string
+		value           int64
 	}{
-		{"crowdpricing_requests_total", "HTTP requests accepted.", m.Requests},
-		{"crowdpricing_cache_hits_total", "Solve requests served from the warm policy cache.", m.CacheHits},
-		{"crowdpricing_cache_misses_total", "Solve requests that consulted the solver layer.", m.CacheMisses},
-		{"crowdpricing_solves_total", "Solver executions actually performed.", m.Solves},
-		{"crowdpricing_singleflight_shared_total", "Requests deduplicated onto another request's in-flight solve.", m.SingleflightShared},
-		{"crowdpricing_errors_total", "Non-2xx responses.", m.Errors},
-		{"crowdpricing_cache_entries", "Policies currently cached.", m.CacheEntries},
+		{"crowdpricing_requests_total", "counter", "HTTP requests accepted.", m.Requests},
+		{"crowdpricing_cache_hits_total", "counter", "Solve requests served from the warm policy cache.", m.CacheHits},
+		{"crowdpricing_cache_misses_total", "counter", "Solve requests that consulted the solver layer.", m.CacheMisses},
+		{"crowdpricing_solves_total", "counter", "Solver executions actually performed.", m.Solves},
+		{"crowdpricing_singleflight_shared_total", "counter", "Requests deduplicated onto another request's in-flight solve.", m.SingleflightShared},
+		{"crowdpricing_errors_total", "counter", "Non-2xx responses.", m.Errors},
+		{"crowdpricing_cache_entries", "gauge", "Policies currently cached.", m.CacheEntries},
 	} {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n",
-			row.name, row.help, row.name, counterType(row.name), row.name, row.value)
+			row.name, row.help, row.name, row.typ, row.name, row.value)
 	}
+	s.writeLatencyHistogram(w)
 }
 
-func counterType(name string) string {
-	if name == "crowdpricing_cache_entries" {
-		return "gauge"
+// writeLatencyHistogram renders the per-endpoint request-duration
+// histograms in Prometheus exposition format: one metric family with an
+// `endpoint` label, `_bucket` series per `le` bound plus `+Inf`, and the
+// conventional `_sum`/`_count` pair, all in base seconds.
+func (s *Server) writeLatencyHistogram(w http.ResponseWriter) {
+	const name = "crowdpricing_request_duration_seconds"
+	fmt.Fprintf(w, "# HELP %s Wall time per HTTP request, by endpoint.\n# TYPE %s histogram\n", name, name)
+	paths := make([]string, 0, len(s.latency))
+	for p := range s.latency {
+		paths = append(paths, p)
 	}
-	return "counter"
+	sort.Strings(paths)
+	for _, path := range paths {
+		h := s.latency[path]
+		// Read the total once so +Inf and _count agree even while requests
+		// are recording concurrently; cap the per-bound cumulative counts
+		// at it so the series stays monotone under the same races.
+		total := h.Count()
+		for _, le := range latencyBuckets {
+			n := h.CountAtOrBelow(int64(le * 1e9))
+			if n > total {
+				n = total
+			}
+			fmt.Fprintf(w, "%s_bucket{endpoint=%q,le=%q} %d\n",
+				name, path, strconv.FormatFloat(le, 'g', -1, 64), n)
+		}
+		fmt.Fprintf(w, "%s_bucket{endpoint=%q,le=\"+Inf\"} %d\n", name, path, total)
+		fmt.Fprintf(w, "%s_sum{endpoint=%q} %g\n", name, path, float64(h.Sum())/1e9)
+		fmt.Fprintf(w, "%s_count{endpoint=%q} %d\n", name, path, total)
+	}
 }
