@@ -1,19 +1,24 @@
 // Command loadbench is the open-loop load generator and continuous
 // benchmark for the pricing daemon. It replays an NHPP-scheduled,
-// fixed-seed mix of deadline/budget/tradeoff problems against either an
-// in-process server (hermetic, the CI mode) or a running daemon over HTTP,
-// measures coordinated-omission-safe latency, and writes a machine-readable
-// JSON report next to a human summary.
+// fixed-seed mix of problems — any kinds the engine registry serves:
+// deadline, budget, tradeoff, multi, and whatever is registered next —
+// against either an in-process server (hermetic, the CI mode) or a running
+// daemon over HTTP, measures coordinated-omission-safe latency, and writes
+// a machine-readable JSON report next to a human summary. Backpressure
+// (HTTP 429 from the daemon's admission queue) is reported in its own
+// `rejected` bucket, separate from errors.
 //
 // Examples:
 //
 //	loadbench -duration 10s -seed 1 -out BENCH_loadbench.json
 //	loadbench -url http://localhost:8080 -rate 200 -size paper -cardinality 64
+//	loadbench -mix "deadline=5,budget=3,tradeoff=2,multi=1" -duration 10s
 //	loadbench -duration 10s -baseline BENCH_old.json -threshold 0.10
 //
-// Exit codes: 0 success; 1 usage or run failure; 2 a metric regressed past
-// -threshold against -baseline; 3 the -max-p99 / -max-error-rate sanity
-// ceiling was exceeded (the CI smoke gate).
+// Exit codes: 0 success; 1 usage or run failure (an interrupted run that
+// measured anything still prints and writes its partial report); 2 a
+// metric regressed past -threshold against -baseline; 3 the -max-p99 /
+// -max-error-rate sanity ceiling was exceeded (the CI smoke gate).
 //
 // Flags:
 //
@@ -21,19 +26,21 @@
 //	-warmup duration      cache warm-up excluded from stats (default 2s)
 //	-rate float           mean arrival rate, requests/second (default 50)
 //	-seed int             RNG seed; equal seeds replay identical schedules (default 1)
-//	-mix string           kind weights, e.g. "deadline=5,budget=3,tradeoff=2"
+//	-mix string           kind weights over registered kinds, e.g. "deadline=5,budget=3,multi=1"
 //	-cardinality int      distinct problems per kind — the cache hit-rate dial (default 16)
 //	-size string          problem scale: small, medium, or paper (default "small")
 //	-shape string         arrival profile: constant or diurnal (default "constant")
 //	-url string           target daemon base URL; empty runs in-process
 //	-cache int            in-process mode: policy cache capacity (default 1024)
-//	-workers int          in-process mode: goroutines per cold deadline solve (default 0 = all CPUs)
+//	-workers int          in-process mode: goroutines inside each cold deadline solve (default 0 = all CPUs)
+//	-solve-concurrency int  in-process mode: engine solve worker pool (default 0 = all CPUs)
+//	-queue int            in-process mode: admission queue depth; overflow sheds 429 (default 4096)
 //	-concurrency int      cap on in-flight requests (default 4096)
 //	-out string           write the JSON report here (default "BENCH_loadbench.json"; "" skips)
 //	-baseline string      compare against a previous JSON report
 //	-threshold float      relative regression threshold for -baseline (default 0.1)
 //	-max-p99 duration     fail (exit 3) if overall p99 exceeds this (0 disables)
-//	-max-error-rate float fail (exit 3) if the error rate exceeds this (-1 disables)
+//	-max-error-rate float fail (exit 3) if the error rate exceeds this (-1 disables; 429 rejections excluded)
 package main
 
 import (
@@ -58,7 +65,8 @@ func main() {
 	flag.Usage = func() {
 		o := flag.CommandLine.Output()
 		fmt.Fprintf(o, "usage: loadbench [flags]\n\n")
-		fmt.Fprintf(o, "Replay an NHPP-scheduled pricing workload and report latency/throughput.\n\nflags:\n")
+		fmt.Fprintf(o, "Replay an NHPP-scheduled pricing workload and report latency/throughput.\n")
+		fmt.Fprintf(o, "Registered problem kinds: %s.\n\nflags:\n", strings.Join(bench.Kinds, ", "))
 		flag.PrintDefaults()
 	}
 	var (
@@ -66,19 +74,21 @@ func main() {
 		warmup      = flag.Duration("warmup", 2*time.Second, "cache warm-up excluded from stats")
 		rateRPS     = flag.Float64("rate", 50, "mean arrival rate, requests/second")
 		seed        = flag.Int64("seed", 1, "RNG seed; equal seeds replay identical schedules")
-		mixSpec     = flag.String("mix", "", `kind weights, e.g. "deadline=5,budget=3,tradeoff=2" (default the built-in mix)`)
+		mixSpec     = flag.String("mix", "", `kind weights, e.g. "deadline=5,budget=3,multi=1" (default the built-in mix)`)
 		cardinality = flag.Int("cardinality", 16, "distinct problems per kind — the cache hit-rate dial")
 		size        = flag.String("size", "small", "problem scale: small, medium, or paper")
 		shape       = flag.String("shape", "constant", "arrival profile: constant or diurnal")
 		url         = flag.String("url", "", "target daemon base URL; empty runs in-process")
 		cacheSize   = flag.Int("cache", server.DefaultCacheSize, "in-process mode: policy cache capacity")
-		workers     = flag.Int("workers", 0, "in-process mode: goroutines per cold deadline solve (0 = all CPUs)")
+		workers     = flag.Int("workers", 0, "in-process mode: goroutines inside each cold deadline solve (0 = all CPUs)")
+		solveConc   = flag.Int("solve-concurrency", 0, "in-process mode: engine solve worker pool (0 = all CPUs)")
+		queueDepth  = flag.Int("queue", server.DefaultQueueDepth, "in-process mode: admission queue depth; overflow sheds 429")
 		concurrency = flag.Int("concurrency", 4096, "cap on in-flight requests")
 		out         = flag.String("out", "BENCH_loadbench.json", `write the JSON report here ("" skips)`)
 		baseline    = flag.String("baseline", "", "compare against a previous JSON report")
 		threshold   = flag.Float64("threshold", 0.10, "relative regression threshold for -baseline")
 		maxP99      = flag.Duration("max-p99", 0, "fail (exit 3) if overall p99 exceeds this (0 disables)")
-		maxErrRate  = flag.Float64("max-error-rate", -1, "fail (exit 3) if the error rate exceeds this (-1 disables)")
+		maxErrRate  = flag.Float64("max-error-rate", -1, "fail (exit 3) if the error rate exceeds this (-1 disables; 429 rejections excluded)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -113,6 +123,8 @@ func main() {
 		target, _ = bench.NewInProcessTarget(server.Options{
 			CacheSize:     *cacheSize,
 			SolverWorkers: *workers,
+			Workers:       *solveConc,
+			QueueDepth:    *queueDepth,
 		})
 	}
 
@@ -120,9 +132,15 @@ func main() {
 		len(sched.Requests), *warmup, *duration, targetName, sched.Hash)
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	res, err := bench.Run(ctx, sched, bench.RunOptions{Target: target, MaxConcurrent: *concurrency})
-	if err != nil {
-		log.Fatal(err)
+	res, runErr := bench.Run(ctx, sched, bench.RunOptions{Target: target, MaxConcurrent: *concurrency})
+	if runErr != nil {
+		if res == nil || res.Overall.Requests == 0 {
+			log.Fatal(runErr)
+		}
+		// An interrupted run still measured something: report the partial
+		// data before exiting non-zero rather than discarding minutes of
+		// load.
+		log.Printf("%v — reporting the partial run", runErr)
 	}
 
 	rep := bench.BuildReport(sched.Config, targetName, res, time.Now())
@@ -135,6 +153,9 @@ func main() {
 	}
 
 	exit := 0
+	if runErr != nil {
+		exit = 1
+	}
 	if *baseline != "" {
 		base, err := bench.ReadReport(*baseline)
 		if err != nil {
@@ -160,35 +181,25 @@ func main() {
 	os.Exit(exit)
 }
 
-// parseMix parses "deadline=5,budget=3,tradeoff=2" (missing kinds weigh 0;
-// empty string selects the built-in default mix).
+// parseMix parses "deadline=5,budget=3,multi=1" into a Mix (missing kinds
+// weigh 0; empty string selects the built-in default mix). Only the syntax
+// is checked here — kind names, weight signs, and the positive-sum rule
+// are validated once, by bench.GenerateSchedule, with the same errors.
 func parseMix(spec string) (bench.Mix, error) {
 	if spec == "" {
-		return bench.Mix{}, nil
+		return nil, nil
 	}
-	var m bench.Mix
+	m := bench.Mix{}
 	for _, part := range strings.Split(spec, ",") {
 		key, val, ok := strings.Cut(strings.TrimSpace(part), "=")
 		if !ok {
-			return m, fmt.Errorf(`bad -mix component %q (want "kind=weight")`, part)
+			return nil, fmt.Errorf(`bad -mix component %q (want "kind=weight")`, part)
 		}
 		w, err := strconv.ParseFloat(val, 64)
-		if err != nil || w < 0 {
-			return m, fmt.Errorf("bad -mix weight %q for %q", val, key)
+		if err != nil {
+			return nil, fmt.Errorf("bad -mix weight %q for %q", val, key)
 		}
-		switch key {
-		case bench.KindDeadline:
-			m.Deadline = w
-		case bench.KindBudget:
-			m.Budget = w
-		case bench.KindTradeoff:
-			m.Tradeoff = w
-		default:
-			return m, fmt.Errorf("unknown -mix kind %q (want deadline, budget, or tradeoff)", key)
-		}
-	}
-	if m.Deadline+m.Budget+m.Tradeoff <= 0 {
-		return m, fmt.Errorf("-mix %q has no positive weights", spec)
+		m[key] = w
 	}
 	return m, nil
 }

@@ -1,8 +1,12 @@
 // Command priced runs the pricing daemon: a long-lived HTTP service that
 // solves the paper's pricing problems on demand and serves repeated or
-// concurrent identical problems from a shared policy cache. Cold requests
-// run the full parallel solver; warm requests return in microseconds; N
-// simultaneous identical requests cost exactly one solve.
+// concurrent identical problems from a shared policy cache. Every problem
+// kind in the engine registry is served from one generic endpoint family —
+// POST /v1/solve/{kind} for deadline, budget, tradeoff, and multi — with
+// admission control: cold solves run on a bounded worker pool behind a
+// bounded queue, and overload is shed with HTTP 429 instead of unbounded
+// goroutines. Warm requests return in microseconds; N simultaneous
+// identical requests cost exactly one solve.
 //
 // Start it, then POST problems as JSON:
 //
@@ -12,8 +16,10 @@
 //	        "accept": {"s": 15, "b": -0.39, "m": 2000},
 //	        "min_price": 1, "max_price": 50}'
 //
-// Endpoints: POST /v1/solve/deadline, /v1/solve/budget, /v1/solve/tradeoff,
-// /v1/solve/batch; GET /healthz, /metrics (Prometheus text format).
+// Endpoints: POST /v1/solve/{kind} (deadline | budget | tradeoff | multi),
+// POST /v1/solve/batch; GET /healthz, /metrics (Prometheus text format,
+// including queue-depth/in-flight gauges and per-kind solve and rejection
+// counters).
 //
 // Flags:
 //
@@ -22,7 +28,14 @@
 //	-cache int
 //	      maximum number of cached policies (default 1024)
 //	-workers int
-//	      goroutines per cold deadline solve; 0 means all CPUs (default 0)
+//	      goroutines inside each cold deadline solve; 0 means all CPUs
+//	      (default 0)
+//	-concurrency int
+//	      engine solve worker pool — how many cold solves run at once;
+//	      0 means all CPUs (default 0)
+//	-queue int
+//	      admission queue depth; cold solves beyond it are shed with
+//	      HTTP 429 (default 4096)
 //	-timeout duration
 //	      per-request solve timeout; timed-out solves keep running and warm
 //	      the cache for the retry (default 2m0s)
@@ -37,9 +50,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"crowdpricing/internal/kinds"
 	"crowdpricing/internal/server"
 )
 
@@ -49,12 +64,15 @@ func main() {
 	flag.Usage = func() {
 		o := flag.CommandLine.Output()
 		fmt.Fprintf(o, "usage: priced [flags]\n\n")
-		fmt.Fprintf(o, "Run the crowd-pricing policy daemon (HTTP/JSON, cached solves).\n\nflags:\n")
+		fmt.Fprintf(o, "Run the crowd-pricing policy daemon (HTTP/JSON, cached solves, admission control).\n")
+		fmt.Fprintf(o, "Problem kinds served: %s.\n\nflags:\n", strings.Join(kinds.Default().Kinds(), ", "))
 		flag.PrintDefaults()
 	}
 	addr := flag.String("addr", ":8080", "listen address")
 	cacheSize := flag.Int("cache", server.DefaultCacheSize, "maximum number of cached policies")
-	workers := flag.Int("workers", 0, "goroutines per cold deadline solve; 0 means all CPUs")
+	workers := flag.Int("workers", 0, "goroutines inside each cold deadline solve; 0 means all CPUs")
+	concurrency := flag.Int("concurrency", 0, "engine solve worker pool; 0 means all CPUs")
+	queueDepth := flag.Int("queue", server.DefaultQueueDepth, "admission queue depth; overflow is shed with HTTP 429")
 	timeout := flag.Duration("timeout", server.DefaultRequestTimeout, "per-request solve timeout")
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -65,7 +83,10 @@ func main() {
 		CacheSize:      *cacheSize,
 		SolverWorkers:  *workers,
 		RequestTimeout: *timeout,
+		Workers:        *concurrency,
+		QueueDepth:     *queueDepth,
 	})
+	defer srv.Close()
 	hs := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
@@ -86,7 +107,8 @@ func main() {
 		}
 	}()
 
-	log.Printf("listening on %s (cache %d policies, timeout %s)", *addr, *cacheSize, *timeout)
+	log.Printf("listening on %s (kinds %s, cache %d policies, queue %d, timeout %s)",
+		*addr, strings.Join(kinds.Default().Kinds(), "|"), *cacheSize, *queueDepth, *timeout)
 	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}

@@ -21,13 +21,18 @@
 // # Pricing as a service
 //
 // The solvers also run as a long-lived daemon (cmd/priced) exposing an
-// HTTP/JSON API with an LRU cache of solved policies keyed by a canonical
-// content hash of the problem: cold solves run at full parallel speed, warm
-// solves return in microseconds, and concurrent identical requests are
-// deduplicated onto a single solve. NewPricingServer embeds the service in
-// another process; NewPricingClient talks to a running daemon; the request
-// and response types (DeadlineRequest, BudgetRequest, TradeoffRequest,
-// BatchRequest, SolveResponse, …) are re-exported here.
+// HTTP/JSON API: every problem kind in the engine registry (deadline,
+// budget, tradeoff, and the general-k multi-type extension) is served from
+// one generic POST /v1/solve/{kind} handler behind an LRU cache of solved
+// policies keyed by a canonical content hash of the problem. Cold solves
+// run on an admission-controlled worker pool (bounded queue, HTTP 429
+// shedding under overload), warm solves return in microseconds, and
+// concurrent identical requests are deduplicated onto a single solve.
+// NewPricingServer embeds the service in another process; NewPricingClient
+// talks to a running daemon — its generic Solve(ctx, kind, req) covers any
+// registered kind, with typed wrappers for the classics; the request and
+// response types (DeadlineRequest, BudgetRequest, TradeoffRequest,
+// MultiRequest, BatchRequest, SolveResponse, …) are re-exported here.
 //
 // # Building and testing
 //
@@ -69,6 +74,14 @@ type StaticStrategy = core.StaticStrategy
 
 // TradeoffProblem optimizes a weighted cost/latency objective (Section 6).
 type TradeoffProblem = core.TradeoffProblem
+
+// MultiProblem is the general-k multiple-task-type extension (Section 6):
+// k types share one worker stream, each with its own acceptance curve and
+// price, solved jointly over the product state space.
+type MultiProblem = core.MultiProblem
+
+// MultiPolicy is a solved general-k joint pricing policy.
+type MultiPolicy = core.MultiPolicy
 
 // AcceptanceFn maps a reward in cents to a task acceptance probability.
 type AcceptanceFn = choice.AcceptanceFn
@@ -116,8 +129,19 @@ type BudgetRequest = server.BudgetRequest
 // (Section 6).
 type TradeoffRequest = server.TradeoffRequest
 
+// MultiRequest asks the service for a general-k multi-type joint pricing
+// policy; solve it through PricingClient.Solve(ctx, "multi", req) and
+// decode the result with SolveResponse.Decode into a MultiSchedule.
+type MultiRequest = server.MultiRequest
+
+// MultiSchedule is the solved general-k policy on the wire.
+type MultiSchedule = server.MultiSchedule
+
 // BatchRequest solves many problems in one round trip.
 type BatchRequest = server.BatchRequest
+
+// BatchItem is one problem of any registered kind inside a batch.
+type BatchItem = server.BatchItem
 
 // BatchResponse mirrors BatchRequest positionally.
 type BatchResponse = server.BatchResponse
@@ -134,6 +158,11 @@ type TradeoffSchedule = server.TradeoffSchedule
 
 // LogisticParams is the wire form of the Equation-3 acceptance curve.
 type LogisticParams = server.LogisticParams
+
+// PricingAPIError is a non-2xx reply from the pricing daemon; inspect
+// StatusCode (or IsBackpressure for 429 queue shedding) to pick a retry
+// strategy.
+type PricingAPIError = server.APIError
 
 // NewPricingServer builds the pricing service; expose it with Handler or
 // mount it inside an existing mux.

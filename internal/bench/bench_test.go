@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"reflect"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -75,6 +76,9 @@ func TestScheduleShapeAndBodies(t *testing.T) {
 	cfg := smallConfig()
 	cfg.Shape = ShapeDiurnal
 	cfg.Rate = 400
+	// Every registered kind in the mix, including multi — the registry is
+	// the only per-kind source the generator has.
+	cfg.Mix = Mix{KindDeadline: 4, KindBudget: 3, KindTradeoff: 2, KindMulti: 1}
 	sched, err := GenerateSchedule(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -95,31 +99,29 @@ func TestScheduleShapeAndBodies(t *testing.T) {
 			t.Fatalf("request %d has problem id %d, cardinality %d", i, q.ProblemID, cfg.Cardinality)
 		}
 		kinds[q.Kind]++
-		var body any
-		switch q.Kind {
-		case KindDeadline:
-			body = q.Deadline
-		case KindBudget:
-			body = q.Budget
-		case KindTradeoff:
-			body = q.Tradeoff
-		default:
+		if kindByte(q.Kind) == 0xff {
 			t.Fatalf("request %d has unknown kind %q", i, q.Kind)
 		}
-		if body == nil || reflect.ValueOf(body).IsNil() {
+		if q.Spec == nil {
 			t.Fatalf("request %d (%s) has no body", i, q.Kind)
+		}
+		if q.Spec.Kind() != q.Kind {
+			t.Fatalf("request %d kind %q carries a %q spec", i, q.Kind, q.Spec.Kind())
+		}
+		if err := q.Spec.Validate(); err != nil {
+			t.Fatalf("request %d (%s) body invalid: %v", i, q.Kind, err)
 		}
 		if seen[q.Kind] == nil {
 			seen[q.Kind] = map[int]any{}
 		}
-		if prior, ok := seen[q.Kind][q.ProblemID]; ok && prior != body {
+		if prior, ok := seen[q.Kind][q.ProblemID]; ok && prior != q.Spec {
 			t.Fatalf("kind %s id %d bound to two distinct bodies", q.Kind, q.ProblemID)
 		}
-		seen[q.Kind][q.ProblemID] = body
+		seen[q.Kind][q.ProblemID] = q.Spec
 	}
-	for _, k := range Kinds {
-		if kinds[k] == 0 {
-			t.Errorf("no %s requests in a %d-request default-mix schedule", k, len(sched.Requests))
+	for kind, w := range sched.Config.Mix {
+		if w > 0 && kinds[kind] == 0 {
+			t.Errorf("no %s requests in a %d-request schedule despite weight %g", kind, len(sched.Requests), w)
 		}
 	}
 }
@@ -131,7 +133,9 @@ func TestConfigValidation(t *testing.T) {
 		func(c *Config) { c.Warmup = -time.Second },
 		func(c *Config) { c.Size = "gigantic" },
 		func(c *Config) { c.Shape = "square" },
-		func(c *Config) { c.Mix = Mix{Deadline: -1, Budget: 2} },
+		func(c *Config) { c.Mix = Mix{KindDeadline: -1, KindBudget: 2} },
+		func(c *Config) { c.Mix = Mix{"astrology": 1} },
+		func(c *Config) { c.Mix = Mix{KindDeadline: 0} },
 	}
 	for i, mutate := range bad {
 		cfg := smallConfig()
@@ -214,10 +218,122 @@ func TestRunInProcessSmoke(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, key := range []string{"schema_version", "config", "environment", "schedule_sha256",
-		"latency", "throughput_rps", "cache_hit_ratio", "error_rate", "endpoints"} {
+		"latency", "throughput_rps", "cache_hit_ratio", "error_rate",
+		"rejected", "rejected_rate", "endpoints"} {
 		if _, ok := raw[key]; !ok {
 			t.Errorf("report JSON missing %q", key)
 		}
+	}
+}
+
+// TestRunMultiKindSmoke drives a mix containing the multi kind end to end
+// through the in-process server: the registry is the only per-kind source,
+// so this passing is the "new kinds are load-testable with zero generator
+// edits" claim.
+func TestRunMultiKindSmoke(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Mix = Mix{KindMulti: 1, KindBudget: 1}
+	sched, err := GenerateSchedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, srv := NewInProcessTarget(server.Options{})
+	defer srv.Close()
+	res, err := Run(context.Background(), sched, RunOptions{Target: target})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Overall.Errors != 0 || res.Overall.Rejected != 0 {
+		t.Fatalf("multi smoke: %d errors, %d rejected; samples: %v",
+			res.Overall.Errors, res.Overall.Rejected, res.ErrorSamples)
+	}
+	if res.ByKind[KindMulti].Requests == 0 {
+		t.Fatal("no multi requests measured")
+	}
+	if m := srv.Metrics(); m.SolvesByKind[KindMulti] == 0 {
+		t.Error("server performed no multi solves")
+	}
+	rep := BuildReport(sched.Config, "in-process", res, time.Time{})
+	if _, ok := rep.Endpoints[KindMulti]; !ok {
+		t.Error("report has no multi endpoint breakdown")
+	}
+}
+
+// rejectingTarget sheds every odd request with the daemon's 429 APIError
+// and serves the rest, to exercise the rejected bucket.
+type rejectingTarget struct {
+	n atomic.Int64
+}
+
+func (rt *rejectingTarget) Do(ctx context.Context, req *Request) (bool, error) {
+	if rt.n.Add(1)%2 == 0 {
+		return false, &server.APIError{StatusCode: 429, Status: "429 Too Many Requests", Message: "queue full"}
+	}
+	return true, nil
+}
+
+// TestRejectionAccounting: 429 backpressure lands in the rejected bucket —
+// not the error rate, not the latency histogram — overall and per kind,
+// and never gates the baseline comparison.
+func TestRejectionAccounting(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Warmup = 0
+	sched, err := GenerateSchedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rt rejectingTarget
+	res, err := Run(context.Background(), sched, RunOptions{Target: &rt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Overall.Errors != 0 {
+		t.Fatalf("rejections were counted as errors: %d (%v)", res.Overall.Errors, res.ErrorSamples)
+	}
+	if res.Overall.Rejected == 0 {
+		t.Fatal("no rejections recorded")
+	}
+	if got := res.Overall.Rejected + res.Overall.Latency.Count(); got != res.Overall.Requests {
+		t.Errorf("rejected (%d) + timed (%d) = %d, want every measured request (%d)",
+			res.Overall.Rejected, res.Overall.Latency.Count(), got, res.Overall.Requests)
+	}
+	var perKind int64
+	for _, ks := range res.ByKind {
+		perKind += ks.Rejected
+	}
+	if perKind != res.Overall.Rejected {
+		t.Errorf("per-kind rejections sum to %d, overall %d", perKind, res.Overall.Rejected)
+	}
+
+	rep := BuildReport(sched.Config, "in-process", res, time.Time{})
+	if rep.ErrorRate != 0 {
+		t.Errorf("error rate %v, want 0 under pure shedding", rep.ErrorRate)
+	}
+	if rep.RejectedRate <= 0.4 || rep.RejectedRate >= 0.6 {
+		t.Errorf("rejected rate %v, want ≈0.5", rep.RejectedRate)
+	}
+	for kind, ep := range rep.Endpoints {
+		if ep.Rejected == 0 && ep.Requests > 1 {
+			t.Errorf("endpoint %s reports no rejections over %d requests", kind, ep.Requests)
+		}
+	}
+
+	// A clean baseline vs. a shedding run: rejected_rate is Worse but must
+	// never be a Regression (shedding is intentional admission control).
+	clean := *rep
+	clean.Rejected, clean.RejectedRate = 0, 0
+	cmp := Compare(&clean, rep, 0.10)
+	sawRejected := false
+	for _, d := range cmp.Deltas {
+		if d.Metric == "rejected_rate" {
+			sawRejected = true
+			if !d.Worse || d.Regression {
+				t.Errorf("rejected_rate delta worse=%v regression=%v, want worse, non-gating", d.Worse, d.Regression)
+			}
+		}
+	}
+	if !sawRejected {
+		t.Error("comparison omits rejected_rate")
 	}
 }
 
@@ -303,6 +419,23 @@ func TestCompareGrace(t *testing.T) {
 		switch d.Metric {
 		case "latency.p50_ms", "cache_hit_ratio", "latency.max_ms", "latency.p999_ms":
 			t.Errorf("%s should not gate (delta %+.1f%%)", d.Metric, d.DeltaPct)
+		}
+	}
+}
+
+// TestCompareTailGuardIgnoresRejected: rejected requests never record a
+// latency sample, so they must not count toward the tail-sample guard — an
+// overload run with thousands of 429s and a handful of timed requests has
+// no p99 signal to gate on.
+func TestCompareTailGuardIgnoresRejected(t *testing.T) {
+	base, cur := reportPair()
+	base.Requests, cur.Requests = 10_200, 10_200
+	base.Rejected, cur.Rejected = 10_000, 10_000 // 200 timed: 2 samples beyond p99
+	cur.Latency.P99Millis = base.Latency.P99Millis * 3
+	cmp := Compare(base, cur, 0.10)
+	for _, d := range cmp.Regressions() {
+		if d.Metric == "latency.p99_ms" {
+			t.Errorf("p99 gated on %d timed requests (the rest were rejections)", 200)
 		}
 	}
 }

@@ -60,8 +60,10 @@ func (c *Comparison) Regressions() []MetricDelta {
 // least minTailSamples observations beyond the percentile (max never
 // gates: it is a single sample by construction); throughput gates on
 // relative drop; error rate gates on any increase beyond
-// max(threshold·base, 0.1pp). Cache hit ratio is reported but never gates:
-// it is a property of the workload dial, not the code under test.
+// max(threshold·base, 0.1pp). Cache hit ratio and the 429 rejection rate
+// are reported but never gate: the former is a property of the workload
+// dial, the latter of deliberate admission control, not the code under
+// test.
 func Compare(base, cur *Report, threshold float64) *Comparison {
 	c := &Comparison{Threshold: threshold}
 	if base.ScheduleSHA256 != cur.ScheduleSHA256 {
@@ -76,9 +78,11 @@ func Compare(base, cur *Report, threshold float64) *Comparison {
 	}
 
 	// Tail-sample guards count successful requests only: the latency
-	// histograms never see errored requests.
+	// histograms see neither errored nor 429-rejected requests, so both
+	// must come off the denominator or an overload run would arm
+	// percentile gates on a handful of real observations.
 	c.compareLatency("latency", base.Latency, cur.Latency, threshold,
-		min(base.Requests-base.Errors, cur.Requests-cur.Errors))
+		min(base.Requests-base.Errors-base.Rejected, cur.Requests-cur.Errors-cur.Rejected))
 	c.add("throughput_rps", base.ThroughputRPS, cur.ThroughputRPS,
 		cur.ThroughputRPS < base.ThroughputRPS,
 		cur.ThroughputRPS < base.ThroughputRPS*(1-threshold))
@@ -89,6 +93,11 @@ func Compare(base, cur *Report, threshold float64) *Comparison {
 	c.add("error_rate", base.ErrorRate, cur.ErrorRate,
 		cur.ErrorRate > base.ErrorRate,
 		cur.ErrorRate > base.ErrorRate+errGate)
+	// Rejections are intentional shedding under overload: a workload/knob
+	// property like the hit ratio, so the delta is reported but never gates
+	// (gating it would make CI flap exactly when admission control works).
+	c.add("rejected_rate", base.RejectedRate, cur.RejectedRate,
+		cur.RejectedRate > base.RejectedRate, false)
 	c.add("cache_hit_ratio", base.CacheHitRatio, cur.CacheHitRatio,
 		cur.CacheHitRatio < base.CacheHitRatio, false)
 
@@ -100,7 +109,7 @@ func Compare(base, cur *Report, threshold float64) *Comparison {
 			continue
 		}
 		c.compareLatency("endpoints."+name+".latency", bep.Latency, cep.Latency, threshold,
-			min(bep.Requests-bep.Errors, cep.Requests-cep.Errors))
+			min(bep.Requests-bep.Errors-bep.Rejected, cep.Requests-cep.Errors-cep.Rejected))
 	}
 	return c
 }

@@ -4,7 +4,10 @@
 // coordinated-omission-safe latency into the shared internal/hdr
 // histogram, and emits machine-readable reports that CI diffs run-over-run.
 //
-// The pipeline is generator → runner → report → compare:
+// The workload is kind-generic: problem kinds and their body generators
+// come from the engine's kind registry (internal/kinds), so a newly
+// registered kind is load-testable by naming it in the Mix — no generator
+// changes. The pipeline is generator → runner → report → compare:
 //
 //   - GenerateSchedule turns a Config (seed, rate, mix, fingerprint
 //     cardinality, problem size) into a deterministic open-loop request
@@ -12,9 +15,11 @@
 //     function of the seed.
 //   - Run fires the schedule at an in-process or remote HTTP target,
 //     timing each request from its *scheduled* start so queueing delay is
-//     charged to latency (no coordinated omission).
-//   - BuildReport summarizes the run (percentiles, throughput, error rate,
-//     cache hit ratio, per-endpoint breakdown) as JSON + a human table.
+//     charged to latency (no coordinated omission). Intentional backpressure
+//     (HTTP 429 shedding) is accounted separately from errors.
+//   - BuildReport summarizes the run (percentiles, throughput, error and
+//     rejection rates, cache hit ratio, per-endpoint breakdown) as JSON + a
+//     human table.
 //   - Compare diffs two reports metric-by-metric against a regression
 //     threshold, the basis for the CI exit code.
 package bench
@@ -29,9 +34,10 @@ import (
 	"time"
 
 	"crowdpricing/internal/dist"
+	"crowdpricing/internal/engine"
+	"crowdpricing/internal/kinds"
 	"crowdpricing/internal/nhpp"
 	"crowdpricing/internal/rate"
-	"crowdpricing/internal/server"
 )
 
 // Size selects the generated problem scale. Larger sizes stress the solver;
@@ -64,20 +70,36 @@ const (
 	ShapeDiurnal Shape = "diurnal"
 )
 
-// Mix weights the three problem kinds in the generated workload. Weights
-// are relative; they need not sum to 1. A zero-value Mix defaults to
-// DefaultMix.
-type Mix struct {
-	Deadline float64 `json:"deadline"`
-	Budget   float64 `json:"budget"`
-	Tradeoff float64 `json:"tradeoff"`
-}
+// Mix weights the problem kinds in the generated workload, keyed by
+// registry kind name. Weights are relative; they need not sum to 1. Kinds
+// absent from the map weigh 0; an empty or nil Mix defaults to DefaultMix.
+// Any kind registered with the engine registry is addressable — adding a
+// kind to the service makes it load-testable with no change here.
+type Mix map[string]float64
 
 // DefaultMix leans on the deadline solver (the expensive one) while keeping
 // the static solvers in the mix, mirroring the paper's emphasis.
-var DefaultMix = Mix{Deadline: 0.5, Budget: 0.3, Tradeoff: 0.2}
+var DefaultMix = Mix{
+	kinds.KindDeadline: 0.5,
+	kinds.KindBudget:   0.3,
+	kinds.KindTradeoff: 0.2,
+}
 
-func (m Mix) total() float64 { return m.Deadline + m.Budget + m.Tradeoff }
+func (m Mix) total() float64 {
+	sum := 0.0
+	for _, w := range m {
+		sum += w
+	}
+	return sum
+}
+
+func (m Mix) clone() Mix {
+	out := make(Mix, len(m))
+	for k, w := range m {
+		out[k] = w
+	}
+	return out
+}
 
 // Config parameterizes schedule generation. All randomness derives from
 // Seed: equal configs generate byte-identical schedules.
@@ -91,7 +113,7 @@ type Config struct {
 	// excluded from statistics.
 	Duration time.Duration `json:"duration_ns"`
 	Warmup   time.Duration `json:"warmup_ns"`
-	// Mix weights the problem kinds (zero value = DefaultMix).
+	// Mix weights the problem kinds by registry name (empty = DefaultMix).
 	Mix Mix `json:"mix"`
 	// Cardinality is the number of distinct problems per kind — the cache
 	// hit-rate dial. With R total requests of a kind, the expected steady
@@ -114,11 +136,23 @@ func (c *Config) normalized() (Config, error) {
 	if out.Warmup < 0 {
 		return out, fmt.Errorf("bench: negative warmup %v", out.Warmup)
 	}
-	if out.Mix == (Mix{}) {
-		out.Mix = DefaultMix
+	if len(out.Mix) == 0 {
+		out.Mix = DefaultMix.clone()
 	}
-	if out.Mix.Deadline < 0 || out.Mix.Budget < 0 || out.Mix.Tradeoff < 0 || out.Mix.total() <= 0 {
-		return out, fmt.Errorf("bench: mix weights must be non-negative with a positive sum, got %+v", out.Mix)
+	for kind, w := range out.Mix {
+		def, ok := registry().Lookup(kind)
+		if !ok {
+			return out, fmt.Errorf("bench: mix names unknown kind %q (registered: %v)", kind, Kinds)
+		}
+		if def.Sample == nil {
+			return out, fmt.Errorf("bench: kind %q has no workload sampler", kind)
+		}
+		if w < 0 {
+			return out, fmt.Errorf("bench: negative mix weight %v for %q", w, kind)
+		}
+	}
+	if out.Mix.total() <= 0 {
+		return out, fmt.Errorf("bench: mix weights must have a positive sum, got %+v", out.Mix)
 	}
 	if out.Cardinality <= 0 {
 		out.Cardinality = 16
@@ -140,34 +174,38 @@ func (c *Config) normalized() (Config, error) {
 	return out, nil
 }
 
-// Request kinds, matching the server's endpoint names.
+// registry returns the kind registry the generator draws from.
+func registry() *engine.Registry { return kinds.Default() }
+
+// Kinds lists the registered request kinds in canonical (registration)
+// order — the iteration order for every deterministic draw and report.
+var Kinds = kinds.Default().Kinds()
+
+// Request kinds, re-exported for convenience.
 const (
-	KindDeadline = server.KindDeadline
-	KindBudget   = server.KindBudget
-	KindTradeoff = server.KindTradeoff
+	KindDeadline = kinds.KindDeadline
+	KindBudget   = kinds.KindBudget
+	KindTradeoff = kinds.KindTradeoff
+	KindMulti    = kinds.KindMulti
 )
 
-// Kinds lists the request kinds in canonical order.
-var Kinds = []string{KindDeadline, KindBudget, KindTradeoff}
-
-// Request is one scheduled pricing request. Exactly one of Deadline,
-// Budget, Tradeoff is non-nil according to Kind. Requests with the same
-// (Kind, ProblemID) share one problem body (and hence one server-side
-// fingerprint), which is what makes Cardinality a cache hit-rate dial.
+// Request is one scheduled pricing request of any registered kind.
+// Requests with the same (Kind, ProblemID) share one problem body (and
+// hence one server-side fingerprint), which is what makes Cardinality a
+// cache hit-rate dial.
 type Request struct {
 	// At is the scheduled fire time as an offset from run start (warmup
 	// included: requests with At < Config.Warmup warm the cache but are
 	// excluded from statistics).
 	At time.Duration
-	// Kind is KindDeadline, KindBudget, or KindTradeoff.
+	// Kind is the registry kind name.
 	Kind string
 	// ProblemID identifies the problem body within its kind, in
 	// [0, Cardinality).
 	ProblemID int
-
-	Deadline *server.DeadlineRequest
-	Budget   *server.BudgetRequest
-	Tradeoff *server.TradeoffRequest
+	// Spec is the problem body, generated by the kind's registered sampler;
+	// it marshals to the HTTP request body.
+	Spec engine.Spec
 }
 
 // Schedule is a fully materialized open-loop request schedule.
@@ -223,29 +261,39 @@ func GenerateSchedule(cfg Config) (*Schedule, error) {
 			Kind: pickKind(r, norm.Mix),
 		}
 		req.ProblemID = r.Intn(norm.Cardinality)
-		problems.bind(&req)
+		req.Spec = problems.spec(req.Kind, req.ProblemID)
 		reqs = append(reqs, req)
 	}
 	return &Schedule{Config: norm, Requests: reqs, Hash: hashSchedule(norm, reqs)}, nil
 }
 
+// pickKind draws a kind proportional to its mix weight, iterating kinds in
+// canonical order so the draw is deterministic.
 func pickKind(r *dist.RNG, m Mix) string {
 	u := r.Float64() * m.total()
-	switch {
-	case u < m.Deadline:
-		return KindDeadline
-	case u < m.Deadline+m.Budget:
-		return KindBudget
-	default:
-		return KindTradeoff
+	acc := 0.0
+	last := ""
+	for _, kind := range Kinds {
+		w := m[kind]
+		if w <= 0 {
+			continue
+		}
+		last = kind
+		acc += w
+		if u < acc {
+			return kind
+		}
 	}
+	// Floating-point edge: u landed exactly on the total; the last
+	// positive-weight kind owns the boundary.
+	return last
 }
 
 func hashSchedule(cfg Config, reqs []Request) string {
 	h := sha256.New()
 	// The normalized config pins everything the request tuples don't
-	// (problem scale, mix weights, rate); json.Marshal of a struct is
-	// deterministic (declaration field order).
+	// (problem scale, mix weights, rate); json.Marshal is deterministic
+	// for structs (declaration field order) and maps (sorted keys).
 	cfgJSON, err := json.Marshal(cfg)
 	if err != nil {
 		panic("bench: Config not marshalable: " + err.Error())
@@ -270,132 +318,39 @@ func kindByte(kind string) byte {
 	return 0xff
 }
 
-// problemScale holds the per-Size structural parameters.
-type problemScale struct {
-	n         int
-	intervals int
-	horizon   float64 // hours
-	minPrice  int
-	maxPrice  int
-}
-
-var scales = map[Size]problemScale{
-	SizeSmall:  {n: 16, intervals: 8, horizon: 4, minPrice: 1, maxPrice: 25},
-	SizeMedium: {n: 50, intervals: 24, horizon: 24, minPrice: 1, maxPrice: 40},
-	SizePaper:  {n: 200, intervals: 72, horizon: 72, minPrice: 1, maxPrice: 50},
-}
-
 // problemSet lazily materializes the Cardinality distinct problem bodies
-// per kind. Bodies depend only on (seed, kind, id) — never on arrival
-// order — so the same logical problem is byte-identical across schedules,
-// shapes, and mixes, and maps to the same server-side fingerprint.
+// per kind through the registry's samplers. Bodies depend only on
+// (seed, kind, id) — never on arrival order — so the same logical problem
+// is byte-identical across schedules, shapes, and mixes, and maps to the
+// same server-side fingerprint.
 type problemSet struct {
-	cfg      Config
-	scale    problemScale
-	deadline map[int]*server.DeadlineRequest
-	budget   map[int]*server.BudgetRequest
-	tradeoff map[int]*server.TradeoffRequest
+	cfg   Config
+	specs map[string]map[int]engine.Spec
 }
 
 func newProblemSet(cfg Config) *problemSet {
-	return &problemSet{
-		cfg:      cfg,
-		scale:    scales[cfg.Size],
-		deadline: make(map[int]*server.DeadlineRequest),
-		budget:   make(map[int]*server.BudgetRequest),
-		tradeoff: make(map[int]*server.TradeoffRequest),
-	}
+	return &problemSet{cfg: cfg, specs: make(map[string]map[int]engine.Spec)}
 }
 
-// problemRNG derives the body RNG for (kind, id). The large odd multipliers
-// spread (seed, kind, id) triples over distinct seeds; dist.NewRNG then
-// mixes the seed through splitmix64, so nearby ids still decorrelate.
-func (ps *problemSet) problemRNG(kind string, id int) *dist.RNG {
-	return dist.NewRNG(ps.cfg.Seed + int64(kindByte(kind)+1)*1_000_003 + int64(id)*7_919)
+// problemSeed derives the sampler seed for (kind, id). The large odd
+// multipliers spread (seed, kind, id) triples over distinct seeds;
+// dist.NewRNG then mixes the seed through splitmix64, so nearby ids still
+// decorrelate.
+func (ps *problemSet) problemSeed(kind string, id int) int64 {
+	return ps.cfg.Seed + int64(kindByte(kind)+1)*1_000_003 + int64(id)*7_919
 }
 
-func (ps *problemSet) bind(req *Request) {
-	switch req.Kind {
-	case KindDeadline:
-		req.Deadline = ps.deadlineProblem(req.ProblemID)
-	case KindBudget:
-		req.Budget = ps.budgetProblem(req.ProblemID)
-	case KindTradeoff:
-		req.Tradeoff = ps.tradeoffProblem(req.ProblemID)
+func (ps *problemSet) spec(kind string, id int) engine.Spec {
+	byID, ok := ps.specs[kind]
+	if !ok {
+		byID = make(map[int]engine.Spec)
+		ps.specs[kind] = byID
 	}
-}
-
-// accept draws a mildly jittered Equation-3 acceptance curve around the
-// paper's fitted parameters (S=15, B=-0.39, M=2000). The logistic is
-// strictly positive at every price, so every generated problem is feasible
-// for every solver.
-func accept(r *dist.RNG) server.LogisticParams {
-	return server.LogisticParams{S: r.Uniform(10, 20), B: -0.39, M: 2000}
-}
-
-func (ps *problemSet) deadlineProblem(id int) *server.DeadlineRequest {
-	if p, ok := ps.deadline[id]; ok {
-		return p
+	if s, ok := byID[id]; ok {
+		return s
 	}
-	r := ps.problemRNG(KindDeadline, id)
-	sc := ps.scale
-	lambdas := make([]float64, sc.intervals)
-	// Expected arrivals ≈ 2N over the horizon: enough that completing all
-	// tasks is plausible, so the DP explores the interesting price region.
-	perInterval := 2 * float64(sc.n) / float64(sc.intervals)
-	for t := range lambdas {
-		lambdas[t] = perInterval * r.Uniform(0.8, 1.6)
-	}
-	p := &server.DeadlineRequest{
-		N:            sc.n,
-		HorizonHours: sc.horizon,
-		Intervals:    sc.intervals,
-		Lambdas:      lambdas,
-		Accept:       accept(r),
-		MinPrice:     sc.minPrice,
-		MaxPrice:     sc.maxPrice,
-		Penalty:      4 * float64(sc.maxPrice),
-		TruncEps:     1e-6,
-	}
-	ps.deadline[id] = p
-	return p
-}
-
-func (ps *problemSet) budgetProblem(id int) *server.BudgetRequest {
-	if p, ok := ps.budget[id]; ok {
-		return p
-	}
-	r := ps.problemRNG(KindBudget, id)
-	sc := ps.scale
-	// Budget in [N·maxPrice, 2N·maxPrice]: always feasible (even pricing
-	// every task at maxPrice fits), so the hull solver never rejects.
-	p := &server.BudgetRequest{
-		N:        sc.n,
-		Budget:   sc.n*sc.maxPrice + r.Intn(sc.n*sc.maxPrice+1),
-		Accept:   accept(r),
-		MinPrice: sc.minPrice,
-		MaxPrice: sc.maxPrice,
-		Method:   server.BudgetMethodHull,
-	}
-	ps.budget[id] = p
-	return p
-}
-
-func (ps *problemSet) tradeoffProblem(id int) *server.TradeoffRequest {
-	if p, ok := ps.tradeoff[id]; ok {
-		return p
-	}
-	r := ps.problemRNG(KindTradeoff, id)
-	sc := ps.scale
-	p := &server.TradeoffRequest{
-		N:           sc.n,
-		Alpha:       r.Uniform(1, 10),
-		Lambda:      r.Uniform(50, 200),
-		Accept:      accept(r),
-		MinPrice:    sc.minPrice,
-		MaxPrice:    sc.maxPrice,
-		Formulation: server.TradeoffWorkerArrival,
-	}
-	ps.tradeoff[id] = p
-	return p
+	def, _ := registry().Lookup(kind)
+	s := def.Sample(ps.problemSeed(kind, id), string(ps.cfg.Size))
+	byID[id] = s
+	return s
 }

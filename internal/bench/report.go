@@ -16,7 +16,12 @@ import (
 
 // SchemaVersion identifies the BENCH_loadbench.json layout; bump it on any
 // incompatible change so compare can refuse mismatched baselines.
-const SchemaVersion = 1
+//
+// v2: Mix became a map keyed by registry kind name, and 429 backpressure
+// rejections moved out of the error totals into their own rejected /
+// rejected_rate bucket (overall and per endpoint) so gates don't flap
+// under intentional shedding.
+const SchemaVersion = 2
 
 // LatencySummary is the percentile digest of one latency histogram, in
 // milliseconds. Successful requests only — errors are counted, not timed.
@@ -45,9 +50,13 @@ func summarize(h *hdr.Histogram) LatencySummary {
 
 // EndpointReport is the per-kind slice of the run.
 type EndpointReport struct {
-	Requests      int64          `json:"requests"`
-	Errors        int64          `json:"errors"`
-	ErrorRate     float64        `json:"error_rate"`
+	Requests  int64   `json:"requests"`
+	Errors    int64   `json:"errors"`
+	ErrorRate float64 `json:"error_rate"`
+	// Rejected counts 429 backpressure shedding — intentional, disjoint
+	// from Errors.
+	Rejected      int64          `json:"rejected"`
+	RejectedRate  float64        `json:"rejected_rate"`
 	CacheHits     int64          `json:"cache_hits"`
 	CacheHitRatio float64        `json:"cache_hit_ratio"`
 	Latency       LatencySummary `json:"latency"`
@@ -57,13 +66,15 @@ func endpointReport(ks *KindStats) EndpointReport {
 	rep := EndpointReport{
 		Requests:  ks.Requests,
 		Errors:    ks.Errors,
+		Rejected:  ks.Rejected,
 		CacheHits: ks.CacheHits,
 		Latency:   summarize(ks.Latency),
 	}
 	if ks.Requests > 0 {
 		rep.ErrorRate = float64(ks.Errors) / float64(ks.Requests)
+		rep.RejectedRate = float64(ks.Rejected) / float64(ks.Requests)
 	}
-	if ok := ks.Requests - ks.Errors; ok > 0 {
+	if ok := ks.Requests - ks.Errors - ks.Rejected; ok > 0 {
 		rep.CacheHitRatio = float64(ks.CacheHits) / float64(ok)
 	}
 	return rep
@@ -115,9 +126,14 @@ type Report struct {
 	Requests        int64   `json:"requests"`
 	Errors          int64   `json:"errors"`
 	ErrorRate       float64 `json:"error_rate"`
-	CacheHits       int64   `json:"cache_hits"`
-	CacheHitRatio   float64 `json:"cache_hit_ratio"`
-	ThroughputRPS   float64 `json:"throughput_rps"`
+	// Rejected counts 429 backpressure shedding (the daemon's admission
+	// queue was full) — intentional behavior under overload, reported
+	// separately from Errors so error-rate gates don't flap.
+	Rejected      int64   `json:"rejected"`
+	RejectedRate  float64 `json:"rejected_rate"`
+	CacheHits     int64   `json:"cache_hits"`
+	CacheHitRatio float64 `json:"cache_hit_ratio"`
+	ThroughputRPS float64 `json:"throughput_rps"`
 
 	Latency   LatencySummary            `json:"latency"`
 	Endpoints map[string]EndpointReport `json:"endpoints"`
@@ -139,6 +155,7 @@ func BuildReport(cfg Config, target string, res *Result, now time.Time) *Report 
 		WarmupRequests:  res.Warmed,
 		Requests:        res.Overall.Requests,
 		Errors:          res.Overall.Errors,
+		Rejected:        res.Overall.Rejected,
 		CacheHits:       res.Overall.CacheHits,
 		Latency:         summarize(res.Overall.Latency),
 		Endpoints:       make(map[string]EndpointReport, len(res.ByKind)),
@@ -146,12 +163,13 @@ func BuildReport(cfg Config, target string, res *Result, now time.Time) *Report 
 	}
 	if rep.Requests > 0 {
 		rep.ErrorRate = float64(rep.Errors) / float64(rep.Requests)
+		rep.RejectedRate = float64(rep.Rejected) / float64(rep.Requests)
 	}
-	if ok := rep.Requests - rep.Errors; ok > 0 {
+	if ok := rep.Requests - rep.Errors - rep.Rejected; ok > 0 {
 		rep.CacheHitRatio = float64(rep.CacheHits) / float64(ok)
 	}
 	if res.Elapsed > 0 {
-		rep.ThroughputRPS = float64(rep.Requests-rep.Errors) / res.Elapsed.Seconds()
+		rep.ThroughputRPS = float64(rep.Requests-rep.Errors-rep.Rejected) / res.Elapsed.Seconds()
 	}
 	for kind, ks := range res.ByKind {
 		if ks.Requests == 0 {
@@ -202,29 +220,28 @@ func ReadReport(path string) (*Report, error) {
 // Table renders the human-readable summary the CLI prints.
 func (r *Report) Table() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "target %s · seed %d · %s problems · mix d=%g b=%g t=%g · cardinality %d · shape %s\n",
+	fmt.Fprintf(&b, "target %s · seed %d · %s problems · mix %s · cardinality %d · shape %s\n",
 		r.Config.Target, r.Config.Seed, r.Config.Size,
-		r.Config.Mix.Deadline, r.Config.Mix.Budget, r.Config.Mix.Tradeoff,
-		r.Config.Cardinality, r.Config.Shape)
-	fmt.Fprintf(&b, "measured %.1fs · %d requests (%d warmup excluded) · %.1f req/s · errors %d (%.2f%%) · cache hit %.1f%%\n",
+		formatMix(r.Config.Mix), r.Config.Cardinality, r.Config.Shape)
+	fmt.Fprintf(&b, "measured %.1fs · %d requests (%d warmup excluded) · %.1f req/s · errors %d (%.2f%%) · rejected %d (%.2f%%) · cache hit %.1f%%\n",
 		r.DurationSeconds, r.Requests, r.WarmupRequests, r.ThroughputRPS,
-		r.Errors, 100*r.ErrorRate, 100*r.CacheHitRatio)
+		r.Errors, 100*r.ErrorRate, r.Rejected, 100*r.RejectedRate, 100*r.CacheHitRatio)
 
 	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
-	fmt.Fprintln(w, "endpoint\treqs\terr\thit%\tp50\tp90\tp95\tp99\tp99.9\tmax")
-	row := func(name string, reqs, errs int64, hitRatio float64, l LatencySummary) {
-		fmt.Fprintf(w, "%s\t%d\t%d\t%.1f\t%s\t%s\t%s\t%s\t%s\t%s\n",
-			name, reqs, errs, 100*hitRatio,
+	fmt.Fprintln(w, "endpoint\treqs\terr\trej\thit%\tp50\tp90\tp95\tp99\tp99.9\tmax")
+	row := func(name string, reqs, errs, rej int64, hitRatio float64, l LatencySummary) {
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%.1f\t%s\t%s\t%s\t%s\t%s\t%s\n",
+			name, reqs, errs, rej, 100*hitRatio,
 			fmtMillis(l.P50Millis), fmtMillis(l.P90Millis), fmtMillis(l.P95Millis),
 			fmtMillis(l.P99Millis), fmtMillis(l.P999Millis), fmtMillis(l.MaxMillis))
 	}
-	row("all", r.Requests, r.Errors, r.CacheHitRatio, r.Latency)
+	row("all", r.Requests, r.Errors, r.Rejected, r.CacheHitRatio, r.Latency)
 	for _, kind := range Kinds {
 		ep, ok := r.Endpoints[kind]
 		if !ok {
 			continue
 		}
-		row(kind, ep.Requests, ep.Errors, ep.CacheHitRatio, ep.Latency)
+		row(kind, ep.Requests, ep.Errors, ep.Rejected, ep.CacheHitRatio, ep.Latency)
 	}
 	w.Flush()
 	if len(r.ErrorSamples) > 0 {
@@ -234,6 +251,27 @@ func (r *Report) Table() string {
 		}
 	}
 	return b.String()
+}
+
+// formatMix renders mix weights in canonical kind order, e.g.
+// "deadline=5 budget=3 multi=1".
+func formatMix(m Mix) string {
+	parts := make([]string, 0, len(m))
+	for _, kind := range Kinds {
+		if w, ok := m[kind]; ok {
+			parts = append(parts, fmt.Sprintf("%s=%g", kind, w))
+		}
+	}
+	// Mix entries for kinds outside the registry order (shouldn't happen
+	// post-validation, but reports may be replayed across versions).
+	extra := make([]string, 0)
+	for kind, w := range m {
+		if kindByte(kind) == 0xff {
+			extra = append(extra, fmt.Sprintf("%s=%g", kind, w))
+		}
+	}
+	sort.Strings(extra)
+	return strings.Join(append(parts, extra...), " ")
 }
 
 // fmtMillis renders a millisecond value at a precision matched to its

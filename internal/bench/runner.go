@@ -2,6 +2,7 @@ package bench
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -21,8 +22,9 @@ type Target interface {
 	Do(ctx context.Context, req *Request) (cacheHit bool, err error)
 }
 
-// ClientTarget drives a pricing daemon through the typed server.Client —
-// the same code path production clients use.
+// ClientTarget drives a pricing daemon through the typed server.Client's
+// kind-generic Solve — the same code path production clients use, for any
+// registered problem kind.
 type ClientTarget struct {
 	Client *server.Client
 }
@@ -43,7 +45,7 @@ func NewHTTPTarget(baseURL string) *ClientTarget {
 
 // NewInProcessTarget builds a fresh pricing server and a Target whose HTTP
 // round trips dispatch straight into its handler — the full mux, decode,
-// cache, and singleflight stack with zero sockets, so the benchmark runs
+// cache, and scheduler stack with zero sockets, so the benchmark runs
 // hermetically (CI-safe) and measures the service rather than the loopback
 // device. The server is returned too so callers can scrape its metrics.
 func NewInProcessTarget(opts server.Options) (*ClientTarget, *server.Server) {
@@ -66,24 +68,25 @@ func (t handlerTransport) RoundTrip(req *http.Request) (*http.Response, error) {
 	return res, nil
 }
 
-// Do implements Target.
+// Do implements Target via the kind-generic client path.
 func (t *ClientTarget) Do(ctx context.Context, req *Request) (bool, error) {
-	var resp *server.SolveResponse
-	var err error
-	switch req.Kind {
-	case KindDeadline:
-		resp, err = t.Client.SolveDeadline(ctx, *req.Deadline)
-	case KindBudget:
-		resp, err = t.Client.SolveBudget(ctx, *req.Budget)
-	case KindTradeoff:
-		resp, err = t.Client.SolveTradeoff(ctx, *req.Tradeoff)
-	default:
-		return false, fmt.Errorf("bench: unknown request kind %q", req.Kind)
+	if req.Spec == nil {
+		return false, fmt.Errorf("bench: request of kind %q has no spec", req.Kind)
 	}
+	resp, err := t.Client.Solve(ctx, req.Kind, req.Spec)
 	if err != nil {
 		return false, err
 	}
 	return resp.CacheHit, nil
+}
+
+// IsRejection reports whether err is the daemon's intentional backpressure
+// (HTTP 429, the admission queue was full) rather than a failure. The
+// runner accounts rejections separately so regression gates on the error
+// rate don't flap under deliberate load shedding.
+func IsRejection(err error) bool {
+	var apiErr *server.APIError
+	return errors.As(err, &apiErr) && apiErr.IsBackpressure()
 }
 
 // RunOptions tunes schedule execution.
@@ -102,9 +105,10 @@ type RunOptions struct {
 type KindStats struct {
 	Requests  int64
 	Errors    int64
+	Rejected  int64 // 429 backpressure shedding; disjoint from Errors
 	CacheHits int64
 	// Latency holds response times measured from each request's scheduled
-	// start (coordinated-omission-safe).
+	// start (coordinated-omission-safe). Successful requests only.
 	Latency *hdr.Histogram
 }
 
@@ -220,6 +224,13 @@ schedule:
 			res.Overall.Requests++
 			ks.Requests++
 			if err != nil {
+				if IsRejection(err) {
+					// Intentional shedding: its own bucket, not an error,
+					// and no latency sample (the request did no work).
+					res.Overall.Rejected++
+					ks.Rejected++
+					return
+				}
 				res.Overall.Errors++
 				ks.Errors++
 				if len(res.ErrorSamples) < maxErrorSamples {

@@ -29,6 +29,19 @@ func fpTradeoffProblem() *TradeoffProblem {
 	return &TradeoffProblem{N: 50, Alpha: 10, Lambda: 200, Accept: choice.Paper13, MinPrice: 1, MaxPrice: 50}
 }
 
+func fpMultiProblem() *MultiProblem {
+	return &MultiProblem{
+		Counts:    []int{3, 4},
+		Intervals: 3,
+		Lambdas:   []float64{40, 50, 60},
+		Accepts:   []choice.AcceptanceFn{choice.Paper13, choice.Logistic{S: 12, B: -0.4, M: 1500}},
+		MinPrice:  1,
+		MaxPrice:  6,
+		Penalty:   120,
+		TruncEps:  1e-9,
+	}
+}
+
 // TestFingerprintGolden pins the exact digests so any accidental change to
 // the canonical encoding (which would silently invalidate every deployed
 // cache) fails loudly. If the encoding is changed on purpose, bump the
@@ -42,6 +55,7 @@ func TestFingerprintGolden(t *testing.T) {
 		{"deadline", fpDeadlineProblem().Fingerprint, "c76e7abbd9f102c22e5576d6f3fe5f0f45219c089ce3b49981d3af8ea4ec7d50"},
 		{"budget", fpBudgetProblem().Fingerprint, "d38dfcb30ce2650749b7a62d140a0ff45600b51f1fa3facc6674232742a66bca"},
 		{"tradeoff", fpTradeoffProblem().Fingerprint, "8bfe20f44544288c1ef3a5cd03fee297a25a13dae476d9a7134c4f1d8bcd7620"},
+		{"multi", fpMultiProblem().Fingerprint, "5d42934a995333eca3b20f7e207022f6abd2a2384ba75525a2549bb261a8f622"},
 	}
 	for _, tc := range cases {
 		got, err := tc.got()
@@ -189,6 +203,70 @@ func TestFingerprintBudgetTradeoffPerturbations(t *testing.T) {
 		if got == tBase {
 			t.Errorf("tradeoff: perturbing %s did not change the fingerprint", name)
 		}
+	}
+}
+
+// TestFingerprintMultiPerturbations flips every policy-relevant field of
+// the general-k problem one at a time and checks each flip moves the hash.
+func TestFingerprintMultiPerturbations(t *testing.T) {
+	base, err := fpMultiProblem().Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	perturbations := map[string]func(p *MultiProblem){
+		"Counts":      func(p *MultiProblem) { p.Counts[1] = 5 },
+		"CountsOrder": func(p *MultiProblem) { p.Counts = []int{4, 3} },
+		"Lambdas":     func(p *MultiProblem) { p.Lambdas[0] = 41 },
+		"Accepts": func(p *MultiProblem) {
+			p.Accepts[1] = choice.Logistic{S: 13, B: -0.4, M: 1500}
+		},
+		"AcceptsOrder": func(p *MultiProblem) {
+			p.Accepts[0], p.Accepts[1] = p.Accepts[1], p.Accepts[0]
+		},
+		"MinPrice": func(p *MultiProblem) { p.MinPrice = 2 },
+		"MaxPrice": func(p *MultiProblem) { p.MaxPrice = 7 },
+		"Penalty":  func(p *MultiProblem) { p.Penalty = 121 },
+		"TruncEps": func(p *MultiProblem) { p.TruncEps = 1e-8 },
+	}
+	seen := map[string]string{}
+	for name, mutate := range perturbations {
+		p := fpMultiProblem()
+		mutate(p)
+		got, err := p.Fingerprint()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got == base {
+			t.Errorf("perturbing %s did not change the fingerprint", name)
+		}
+		if prev, dup := seen[got]; dup {
+			t.Errorf("perturbations %s and %s collide", name, prev)
+		}
+		seen[got] = name
+	}
+
+	// Intervals cannot vary alone (Validate ties it to len(Lambdas)).
+	p := fpMultiProblem()
+	p.Intervals = 4
+	p.Lambdas = append(p.Lambdas, 70)
+	got, err := p.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == base {
+		t.Error("perturbing Intervals+Lambdas did not change the fingerprint")
+	}
+
+	// Invalid and non-parametric problems must not fingerprint.
+	q := fpMultiProblem()
+	q.Counts[0] = -1
+	if _, err := q.Fingerprint(); err == nil {
+		t.Error("expected error fingerprinting an invalid multi problem")
+	}
+	r := fpMultiProblem()
+	r.Accepts[0] = customAccept{}
+	if _, err := r.Fingerprint(); err == nil {
+		t.Error("expected error fingerprinting a non-parametric acceptance curve")
 	}
 }
 

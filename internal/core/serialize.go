@@ -218,6 +218,33 @@ func (p *BudgetProblem) Fingerprint() (string, error) {
 	return f.sum(), nil
 }
 
+// Fingerprint returns a stable content hash of the general-k multi-type
+// problem; see DeadlineProblem.Fingerprint for the contract. Every
+// acceptance curve participates in type order, so reordering the types is a
+// different problem (as it must be: the price vector is positional).
+func (p *MultiProblem) Fingerprint() (string, error) {
+	if err := p.Validate(); err != nil {
+		return "", err
+	}
+	f := newFPHasher("crowdpricing/multi/v1")
+	f.int(len(p.Counts))
+	for _, n := range p.Counts {
+		f.int(n)
+	}
+	f.int(p.Intervals)
+	f.floats(p.Lambdas)
+	for _, fn := range p.Accepts {
+		if err := fingerprintAccept(f, fn); err != nil {
+			return "", err
+		}
+	}
+	f.int(p.MinPrice)
+	f.int(p.MaxPrice)
+	f.float(p.Penalty)
+	f.float(p.TruncEps)
+	return f.sum(), nil
+}
+
 // Fingerprint returns a stable content hash of the trade-off problem; see
 // DeadlineProblem.Fingerprint for the contract.
 func (p *TradeoffProblem) Fingerprint() (string, error) {

@@ -1,15 +1,15 @@
-package server
+package engine
 
 import (
 	"container/list"
 	"sync"
 )
 
-// policyCache is a thread-safe LRU over serialized solve results, keyed by
-// the problem's canonical cache key. Values are the exact bytes served to
+// lruCache is a thread-safe LRU over serialized solve artifacts, keyed by
+// the spec's canonical fingerprint. Values are the exact bytes served to
 // clients, so a warm hit is a map lookup plus a write — no re-marshaling —
 // and every caller of the same key receives byte-identical artifacts.
-type policyCache struct {
+type lruCache struct {
 	mu    sync.Mutex
 	max   int
 	ll    *list.List // front = most recently used
@@ -21,11 +21,11 @@ type cacheEntry struct {
 	val []byte
 }
 
-func newPolicyCache(max int) *policyCache {
+func newLRUCache(max int) *lruCache {
 	if max < 1 {
 		max = 1
 	}
-	return &policyCache{
+	return &lruCache{
 		max:   max,
 		ll:    list.New(),
 		items: make(map[string]*list.Element, max),
@@ -33,7 +33,7 @@ func newPolicyCache(max int) *policyCache {
 }
 
 // Get returns the cached bytes for key and refreshes its recency.
-func (c *policyCache) Get(key string) ([]byte, bool) {
+func (c *lruCache) Get(key string) ([]byte, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
@@ -46,7 +46,7 @@ func (c *policyCache) Get(key string) ([]byte, bool) {
 
 // Put inserts or refreshes key, evicting the least recently used entries
 // when the cache exceeds its capacity.
-func (c *policyCache) Put(key string, val []byte) {
+func (c *lruCache) Put(key string, val []byte) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
@@ -63,7 +63,7 @@ func (c *policyCache) Put(key string, val []byte) {
 }
 
 // Len returns the number of cached entries.
-func (c *policyCache) Len() int {
+func (c *lruCache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.ll.Len()

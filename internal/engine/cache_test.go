@@ -1,15 +1,13 @@
-package server
+package engine
 
 import (
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"testing"
-	"time"
 )
 
 func TestCacheLRUEviction(t *testing.T) {
-	c := newPolicyCache(3)
+	c := newLRUCache(3)
 	for i := 1; i <= 3; i++ {
 		c.Put(fmt.Sprintf("k%d", i), []byte{byte(i)})
 	}
@@ -32,7 +30,7 @@ func TestCacheLRUEviction(t *testing.T) {
 }
 
 func TestCachePutRefreshes(t *testing.T) {
-	c := newPolicyCache(2)
+	c := newLRUCache(2)
 	c.Put("a", []byte{1})
 	c.Put("b", []byte{2})
 	c.Put("a", []byte{3}) // refresh both value and recency
@@ -46,7 +44,7 @@ func TestCachePutRefreshes(t *testing.T) {
 }
 
 func TestCacheConcurrent(t *testing.T) {
-	c := newPolicyCache(16)
+	c := newLRUCache(16)
 	var wg sync.WaitGroup
 	for g := 0; g < 8; g++ {
 		wg.Add(1)
@@ -64,52 +62,5 @@ func TestCacheConcurrent(t *testing.T) {
 	wg.Wait()
 	if got := c.Len(); got > 16 {
 		t.Errorf("cache grew to %d entries, cap is 16", got)
-	}
-}
-
-func TestFlightGroupShares(t *testing.T) {
-	var g flightGroup
-	var calls atomic.Int64
-	release := make(chan struct{})
-	var ready, wg sync.WaitGroup
-	shared := make([]bool, 10)
-	vals := make([][]byte, 10)
-	for i := 0; i < 10; i++ {
-		ready.Add(1)
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			ready.Done()
-			v, err, sh := g.Do("k", func() ([]byte, error) {
-				calls.Add(1)
-				<-release
-				return []byte("result"), nil
-			})
-			if err != nil {
-				t.Error(err)
-			}
-			vals[i], shared[i] = v, sh
-		}(i)
-	}
-	// Hold the one executor inside fn until every goroutine has had ample
-	// time to reach Do and join the in-flight call.
-	ready.Wait()
-	time.Sleep(100 * time.Millisecond)
-	close(release)
-	wg.Wait()
-	if n := calls.Load(); n != 1 {
-		t.Fatalf("fn ran %d times, want 1", n)
-	}
-	nShared := 0
-	for i := range vals {
-		if string(vals[i]) != "result" {
-			t.Errorf("caller %d got %q", i, vals[i])
-		}
-		if shared[i] {
-			nShared++
-		}
-	}
-	if nShared != 9 {
-		t.Errorf("%d callers reported shared results, want 9", nShared)
 	}
 }

@@ -1,0 +1,148 @@
+package kinds
+
+import (
+	"crowdpricing/internal/dist"
+	"crowdpricing/internal/engine"
+)
+
+// Workload samplers: the per-kind problem generators behind
+// engine.KindDef.Sample, used by internal/bench to materialize load without
+// any per-kind generator code. Each sampler is a pure function of
+// (seed, size) — equal inputs yield byte-identical specs across runs and
+// platforms — and every generated problem is feasible for its solver.
+
+// scale holds the per-size structural parameters shared by the single-type
+// kinds. Larger sizes stress the solver; smaller sizes stress the
+// HTTP/cache path.
+type scale struct {
+	n         int
+	intervals int
+	horizon   float64 // hours
+	minPrice  int
+	maxPrice  int
+}
+
+// scaleFor maps a bench size name to its parameters; unknown names fall
+// back to the small scale.
+func scaleFor(size string) scale {
+	switch size {
+	case "medium":
+		return scale{n: 50, intervals: 24, horizon: 24, minPrice: 1, maxPrice: 40}
+	case "paper":
+		// The paper's experiments: N=200, 72 intervals — cold solves take
+		// milliseconds, so the cache hit-rate dial dominates throughput.
+		return scale{n: 200, intervals: 72, horizon: 72, minPrice: 1, maxPrice: 50}
+	default: // small: solves well under a millisecond cold
+		return scale{n: 16, intervals: 8, horizon: 4, minPrice: 1, maxPrice: 25}
+	}
+}
+
+// multiScale holds the joint-DP sizes. The general-k solver enumerates
+// price vectors per joint state, so these stay far smaller than the
+// single-type scales while still spanning µs (small) to sub-second (paper)
+// cold solves.
+type multiScale struct {
+	counts    []int
+	intervals int
+	minPrice  int
+	maxPrice  int
+}
+
+func multiScaleFor(size string) multiScale {
+	switch size {
+	case "medium":
+		return multiScale{counts: []int{6, 6}, intervals: 12, minPrice: 1, maxPrice: 8}
+	case "paper":
+		return multiScale{counts: []int{10, 10}, intervals: 24, minPrice: 1, maxPrice: 12}
+	default: // small
+		return multiScale{counts: []int{3, 3}, intervals: 6, minPrice: 1, maxPrice: 5}
+	}
+}
+
+// accept draws a mildly jittered Equation-3 acceptance curve around the
+// paper's fitted parameters (S=15, B=-0.39, M=2000). The logistic is
+// strictly positive at every price, so every generated problem is feasible
+// for every solver.
+func accept(r *dist.RNG) LogisticParams {
+	return LogisticParams{S: r.Uniform(10, 20), B: -0.39, M: 2000}
+}
+
+func sampleDeadline(seed int64, size string) engine.Spec {
+	r := dist.NewRNG(seed)
+	sc := scaleFor(size)
+	lambdas := make([]float64, sc.intervals)
+	// Expected arrivals ≈ 2N over the horizon: enough that completing all
+	// tasks is plausible, so the DP explores the interesting price region.
+	perInterval := 2 * float64(sc.n) / float64(sc.intervals)
+	for t := range lambdas {
+		lambdas[t] = perInterval * r.Uniform(0.8, 1.6)
+	}
+	return &DeadlineRequest{
+		N:            sc.n,
+		HorizonHours: sc.horizon,
+		Intervals:    sc.intervals,
+		Lambdas:      lambdas,
+		Accept:       accept(r),
+		MinPrice:     sc.minPrice,
+		MaxPrice:     sc.maxPrice,
+		Penalty:      4 * float64(sc.maxPrice),
+		TruncEps:     1e-6,
+	}
+}
+
+func sampleBudget(seed int64, size string) engine.Spec {
+	r := dist.NewRNG(seed)
+	sc := scaleFor(size)
+	// Budget in [N·maxPrice, 2N·maxPrice]: always feasible (even pricing
+	// every task at maxPrice fits), so the hull solver never rejects.
+	return &BudgetRequest{
+		N:        sc.n,
+		Budget:   sc.n*sc.maxPrice + r.Intn(sc.n*sc.maxPrice+1),
+		Accept:   accept(r),
+		MinPrice: sc.minPrice,
+		MaxPrice: sc.maxPrice,
+		Method:   BudgetMethodHull,
+	}
+}
+
+func sampleTradeoff(seed int64, size string) engine.Spec {
+	r := dist.NewRNG(seed)
+	sc := scaleFor(size)
+	return &TradeoffRequest{
+		N:           sc.n,
+		Alpha:       r.Uniform(1, 10),
+		Lambda:      r.Uniform(50, 200),
+		Accept:      accept(r),
+		MinPrice:    sc.minPrice,
+		MaxPrice:    sc.maxPrice,
+		Formulation: TradeoffWorkerArrival,
+	}
+}
+
+func sampleMulti(seed int64, size string) engine.Spec {
+	r := dist.NewRNG(seed)
+	sc := multiScaleFor(size)
+	total := 0
+	for _, n := range sc.counts {
+		total += n
+	}
+	lambdas := make([]float64, sc.intervals)
+	perInterval := 2 * float64(total) / float64(sc.intervals)
+	for t := range lambdas {
+		lambdas[t] = perInterval * r.Uniform(0.8, 1.6)
+	}
+	accepts := make([]LogisticParams, len(sc.counts))
+	for i := range accepts {
+		accepts[i] = accept(r)
+	}
+	return &MultiRequest{
+		Counts:    sc.counts,
+		Intervals: sc.intervals,
+		Lambdas:   lambdas,
+		Accepts:   accepts,
+		MinPrice:  sc.minPrice,
+		MaxPrice:  sc.maxPrice,
+		Penalty:   4 * float64(sc.maxPrice),
+		TruncEps:  1e-6,
+	}
+}

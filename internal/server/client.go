@@ -25,6 +25,31 @@ func NewClient(baseURL string) *Client {
 	return &Client{BaseURL: baseURL}
 }
 
+// APIError is a non-2xx reply from the daemon, carrying the HTTP status and
+// the server's structured error message when one was sent. Inspect
+// StatusCode to distinguish client faults (400), backpressure (429, the
+// admission queue was full — retry later), and timeouts (504).
+type APIError struct {
+	// StatusCode is the numeric HTTP status, e.g. 429.
+	StatusCode int
+	// Status is the full status line, e.g. "429 Too Many Requests".
+	Status string
+	// Message is the daemon's error body, when it sent one.
+	Message string
+}
+
+func (e *APIError) Error() string {
+	if e.Message != "" {
+		return fmt.Sprintf("server: %s: %s", e.Status, e.Message)
+	}
+	return fmt.Sprintf("server: %s", e.Status)
+}
+
+// IsBackpressure reports whether the daemon shed this request because its
+// solve queue was full (HTTP 429); the request did no solver work and can
+// be retried after a backoff.
+func (e *APIError) IsBackpressure() bool { return e.StatusCode == http.StatusTooManyRequests }
+
 func (c *Client) httpClient() *http.Client {
 	if c.HTTP != nil {
 		return c.HTTP
@@ -48,43 +73,46 @@ func (c *Client) postJSON(ctx context.Context, path string, in, out any) error {
 	}
 	defer res.Body.Close()
 	if res.StatusCode != http.StatusOK {
+		apiErr := &APIError{StatusCode: res.StatusCode, Status: res.Status}
 		var e errorResponse
 		if json.NewDecoder(io.LimitReader(res.Body, 1<<16)).Decode(&e) == nil && e.Error != "" {
-			return fmt.Errorf("server: %s: %s", res.Status, e.Error)
+			apiErr.Message = e.Error
 		}
-		return fmt.Errorf("server: %s", res.Status)
+		return apiErr
 	}
 	return json.NewDecoder(res.Body).Decode(out)
+}
+
+// Solve is the kind-generic request path: POST req to /v1/solve/{kind} and
+// return the envelope. kind is any name the daemon's registry serves
+// ("deadline", "budget", "tradeoff", "multi", …) and req its wire body —
+// typically one of the request structs, but any JSON-marshalable value with
+// the right shape works. The typed SolveDeadline/SolveBudget/SolveTradeoff
+// wrappers delegate here.
+func (c *Client) Solve(ctx context.Context, kind string, req any) (*SolveResponse, error) {
+	var out SolveResponse
+	if err := c.postJSON(ctx, "/v1/solve/"+kind, req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
 }
 
 // SolveDeadline requests a fixed-deadline dynamic pricing policy; decode
 // the result with SolveResponse.DecodePolicy.
 func (c *Client) SolveDeadline(ctx context.Context, req DeadlineRequest) (*SolveResponse, error) {
-	var out SolveResponse
-	if err := c.postJSON(ctx, "/v1/solve/deadline", req, &out); err != nil {
-		return nil, err
-	}
-	return &out, nil
+	return c.Solve(ctx, KindDeadline, req)
 }
 
 // SolveBudget requests a fixed-budget static allocation; decode the result
 // with SolveResponse.DecodeBudget.
 func (c *Client) SolveBudget(ctx context.Context, req BudgetRequest) (*SolveResponse, error) {
-	var out SolveResponse
-	if err := c.postJSON(ctx, "/v1/solve/budget", req, &out); err != nil {
-		return nil, err
-	}
-	return &out, nil
+	return c.Solve(ctx, KindBudget, req)
 }
 
 // SolveTradeoff requests a cost/latency trade-off policy; decode the result
 // with SolveResponse.DecodeTradeoff.
 func (c *Client) SolveTradeoff(ctx context.Context, req TradeoffRequest) (*SolveResponse, error) {
-	var out SolveResponse
-	if err := c.postJSON(ctx, "/v1/solve/tradeoff", req, &out); err != nil {
-		return nil, err
-	}
-	return &out, nil
+	return c.Solve(ctx, KindTradeoff, req)
 }
 
 // SolveBatch submits many problems in one round trip.
@@ -108,7 +136,7 @@ func (c *Client) Healthz(ctx context.Context) (*HealthStatus, error) {
 	}
 	defer res.Body.Close()
 	if res.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("server: %s", res.Status)
+		return nil, &APIError{StatusCode: res.StatusCode, Status: res.Status}
 	}
 	var out HealthStatus
 	if err := json.NewDecoder(res.Body).Decode(&out); err != nil {

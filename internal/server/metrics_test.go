@@ -3,6 +3,7 @@ package server
 import (
 	"bufio"
 	"context"
+	"fmt"
 	"io"
 	"net/http"
 	"regexp"
@@ -142,10 +143,35 @@ func TestMetricsPrometheusConventions(t *testing.T) {
 		"crowdpricing_errors_total",
 		"crowdpricing_cache_entries",
 		"crowdpricing_request_duration_seconds",
+		"crowdpricing_solves_total",
+		"crowdpricing_rejections_total",
+		"crowdpricing_queue_depth",
+		"crowdpricing_inflight_solves",
 	} {
 		if _, ok := types[want]; !ok {
 			t.Errorf("expected metric family %q absent from /metrics", want)
 		}
+	}
+}
+
+// TestKindLabeledCounters verifies the per-kind scheduler counters: every
+// registered kind appears as a series on both families (zero until
+// touched), and the solve driven by scrapeMetrics lands on its kind.
+func TestKindLabeledCounters(t *testing.T) {
+	body := scrapeMetrics(t)
+	for _, family := range []string{"crowdpricing_solves_total", "crowdpricing_rejections_total"} {
+		for _, kind := range []string{"deadline", "budget", "tradeoff", "multi"} {
+			series := fmt.Sprintf("%s{kind=%q}", family, kind)
+			if !strings.Contains(body, series) {
+				t.Errorf("metrics output missing series %s", series)
+			}
+		}
+	}
+	if !strings.Contains(body, `crowdpricing_solves_total{kind="budget"} 1`) {
+		t.Error("budget solve not counted on its kind label")
+	}
+	if !strings.Contains(body, `crowdpricing_rejections_total{kind="budget"} 0`) {
+		t.Error("untouched rejection counter missing its zero series")
 	}
 }
 

@@ -1,9 +1,11 @@
 // Package server turns the batch pricing library into pricing-as-a-service:
-// a long-running daemon exposing the paper's three solvers over HTTP/JSON,
-// backed by a shared LRU cache of solved policies keyed by a canonical
-// content hash of the problem (core's Fingerprint methods) and a
-// singleflight layer that collapses concurrent identical requests onto one
-// solve.
+// a long-running daemon exposing every registered problem kind over
+// HTTP/JSON through one generic, registry-driven handler, backed by
+// internal/engine's admission-controlled solve scheduler — a shared LRU
+// cache of solved artifacts keyed by canonical problem fingerprints,
+// singleflight deduplication of concurrent identical requests, and a
+// bounded worker pool + bounded queue that sheds overload with HTTP 429
+// instead of spawning unbounded solver goroutines.
 //
 // The economics mirror the systems in PAPERS.md that keep hot state next to
 // the compute: the expensive artifact here is a solved policy — a
@@ -13,18 +15,22 @@
 //
 // Endpoints:
 //
-//	POST /v1/solve/deadline   fixed-deadline dynamic policy   (Section 3)
-//	POST /v1/solve/budget     fixed-budget static allocation  (Section 4)
-//	POST /v1/solve/tradeoff   cost/latency trade-off policy   (Section 6)
-//	POST /v1/solve/batch      many problems, one round trip
+//	POST /v1/solve/{kind}     any registered kind: deadline (Section 3),
+//	                          budget (Section 4), tradeoff (Section 6),
+//	                          multi (Section 6 extension), …
+//	POST /v1/solve/batch      many problems of any kinds, one round trip
 //	GET  /healthz             liveness + uptime
-//	GET  /metrics             Prometheus-format counters + latency histogram
+//	GET  /metrics             Prometheus-format counters, queue gauges,
+//	                          per-kind solve/rejection counters, latency
+//	                          histogram
 //
 // cmd/priced wraps this package in a binary; the root crowdpricing package
-// re-exports the client-facing types.
+// re-exports the client-facing types. Problem kinds are defined in
+// internal/kinds; adding one requires no change here.
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -36,8 +42,9 @@ import (
 	"sync/atomic"
 	"time"
 
-	"crowdpricing/internal/core"
+	"crowdpricing/internal/engine"
 	"crowdpricing/internal/hdr"
+	"crowdpricing/internal/kinds"
 )
 
 // Defaults for Options zero values.
@@ -45,15 +52,18 @@ const (
 	// DefaultCacheSize bounds the policy cache. A paper-scale deadline
 	// policy (N=200, 72 intervals) serializes to ~250 KB, so the default
 	// caps cache memory around a quarter of a gigabyte.
-	DefaultCacheSize = 1024
+	DefaultCacheSize = engine.DefaultCacheSize
 	// DefaultRequestTimeout bounds how long a request waits for its solve.
 	DefaultRequestTimeout = 2 * time.Minute
+	// DefaultQueueDepth bounds the engine's cold-solve admission queue.
+	DefaultQueueDepth = engine.DefaultQueueDepth
 	// MaxBatchItems bounds a single batch request.
 	MaxBatchItems = 256
-	// batchWorkers caps how many batch items solve concurrently within one
-	// request; items beyond it queue. Waiters on an in-flight identical
-	// solve hold a slot too, which is fine — they are blocked, not burning
-	// CPU, and the cap exists to bound solver parallelism.
+	// batchWorkers caps how many batch items this server submits to the
+	// engine concurrently within one request; items beyond it queue.
+	// Waiters on an in-flight identical solve hold a slot too, which is
+	// fine — they are blocked, not burning CPU, and the cap exists to keep
+	// one batch from monopolizing the engine's admission queue.
 	batchWorkers = 16
 )
 
@@ -62,23 +72,33 @@ type Options struct {
 	// CacheSize is the maximum number of cached policies (0 =
 	// DefaultCacheSize).
 	CacheSize int
-	// SolverWorkers is the goroutine count for each cold deadline solve,
+	// SolverWorkers is the goroutine count inside each cold deadline solve,
 	// core.DeadlineProblem.Workers (0 = GOMAXPROCS).
 	SolverWorkers int
 	// RequestTimeout is how long a request may wait for its solve before
 	// the daemon answers 504 (0 = DefaultRequestTimeout). The solve itself
 	// keeps running and warms the cache for the retry.
 	RequestTimeout time.Duration
+	// Workers is the engine's solve worker-pool size — how many cold solves
+	// run concurrently (0 = GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the engine's admission queue; cold solves beyond it
+	// are shed with HTTP 429 (0 = DefaultQueueDepth).
+	QueueDepth int
+	// Registry maps kind names to problem specifications (nil =
+	// kinds.Default(), the built-in deadline/budget/tradeoff/multi set).
+	Registry *engine.Registry
 }
 
 // Server is the pricing service. Create with New, expose with Handler; a
-// single Server is safe for arbitrary concurrent use.
+// single Server is safe for arbitrary concurrent use. Close releases the
+// engine's worker pool.
 type Server struct {
-	opts   Options
-	cache  *policyCache
-	flight flightGroup
-	mux    *http.ServeMux
-	start  time.Time
+	opts     Options
+	registry *engine.Registry
+	engine   *engine.Engine
+	mux      *http.ServeMux
+	start    time.Time
 
 	// latency holds one request-duration histogram per route, recorded
 	// around the full handler (decode + cache + solve + encode) and
@@ -87,41 +107,53 @@ type Server struct {
 	// reports and production scrapes bin latency identically.
 	latency map[string]*hdr.Histogram
 
-	// Every solve request increments exactly one of cacheHits (served from
-	// cache, whether on the fast path or the singleflight double-check) or
-	// cacheMisses (waited on a solver — its own or one it joined), so
-	// hits + misses equals completed solve requests.
-	requests     atomic.Int64 // HTTP requests accepted across all endpoints
-	cacheHits    atomic.Int64 // solve requests served from the cache
-	cacheMisses  atomic.Int64 // solve requests that waited on a solver
-	solves       atomic.Int64 // solver executions actually performed
-	flightShared atomic.Int64 // requests that joined another request's solve
-	errorCount   atomic.Int64 // non-2xx responses
+	requests   atomic.Int64 // HTTP requests accepted across all endpoints
+	errorCount atomic.Int64 // non-2xx responses
 }
 
 // New builds a Server; see Options for the knobs.
 func New(opts Options) *Server {
-	if opts.CacheSize <= 0 {
-		opts.CacheSize = DefaultCacheSize
-	}
 	if opts.RequestTimeout <= 0 {
 		opts.RequestTimeout = DefaultRequestTimeout
 	}
+	reg := opts.Registry
+	if reg == nil {
+		reg = kinds.Default()
+	}
 	s := &Server{
-		opts:    opts,
-		cache:   newPolicyCache(opts.CacheSize),
+		opts:     opts,
+		registry: reg,
+		engine: engine.New(engine.Options{
+			CacheSize:         opts.CacheSize,
+			Workers:           opts.Workers,
+			QueueDepth:        opts.QueueDepth,
+			SolverParallelism: opts.SolverWorkers,
+		}),
 		mux:     http.NewServeMux(),
 		start:   time.Now(),
 		latency: make(map[string]*hdr.Histogram),
 	}
-	s.route("/v1/solve/deadline", s.post(s.handleDeadline))
-	s.route("/v1/solve/budget", s.post(s.handleBudget))
-	s.route("/v1/solve/tradeoff", s.post(s.handleTradeoff))
+	// One generic handler per registered kind: the route set is the
+	// registry, so adding a problem kind adds its endpoint with no code
+	// here. Kind names that would collide with the server's own routes are
+	// rejected up front — otherwise the mux's duplicate-pattern panic would
+	// surface with no hint of the cause.
+	for _, kind := range reg.Kinds() {
+		if kind == "batch" {
+			panic(fmt.Sprintf("server: registry kind %q collides with the reserved /v1/solve/batch route", kind))
+		}
+		def, _ := reg.Lookup(kind)
+		s.route("/v1/solve/"+kind, s.post(s.handleKind(def)))
+	}
 	s.route("/v1/solve/batch", s.post(s.handleBatch))
 	s.route("/healthz", s.handleHealthz)
 	s.route("/metrics", s.handleMetrics)
 	return s
 }
+
+// Close stops the engine's worker pool; in-flight solves finish, queued
+// ones fail fast. The HTTP surface keeps answering (warm hits still work).
+func (s *Server) Close() { s.engine.Close() }
 
 // route registers h at path wrapped with per-endpoint latency recording.
 func (s *Server) route(path string, h http.HandlerFunc) {
@@ -148,18 +180,30 @@ type MetricsSnapshot struct {
 	SingleflightShared int64
 	Errors             int64
 	CacheEntries       int64
+	// QueueDepth and InFlightSolves are the engine's scheduler gauges.
+	QueueDepth     int64
+	InFlightSolves int64
+	// SolvesByKind and RejectedByKind split solver executions and
+	// queue-overflow rejections per problem kind.
+	SolvesByKind   map[string]int64
+	RejectedByKind map[string]int64
 }
 
 // Metrics returns the current counter values.
 func (s *Server) Metrics() MetricsSnapshot {
+	em := s.engine.Metrics()
 	return MetricsSnapshot{
 		Requests:           s.requests.Load(),
-		CacheHits:          s.cacheHits.Load(),
-		CacheMisses:        s.cacheMisses.Load(),
-		Solves:             s.solves.Load(),
-		SingleflightShared: s.flightShared.Load(),
+		CacheHits:          em.CacheHits,
+		CacheMisses:        em.CacheMisses,
+		Solves:             em.Solves,
+		SingleflightShared: em.FlightShared,
 		Errors:             s.errorCount.Load(),
-		CacheEntries:       int64(s.cache.Len()),
+		CacheEntries:       em.CacheEntries,
+		QueueDepth:         em.QueueDepth,
+		InFlightSolves:     em.InFlight,
+		SolvesByKind:       em.SolvesByKind,
+		RejectedByKind:     em.RejectedByKind,
 	}
 }
 
@@ -188,88 +232,34 @@ func (s *Server) ok(w http.ResponseWriter, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-// solve is the shared cache → singleflight → solver path. key is the
-// artifact identity (solver variant + problem fingerprint); run produces
-// the serialized artifact on a miss.
-func (s *Server) solve(ctx context.Context, kind, key string, run func() ([]byte, error)) (*SolveResponse, error) {
-	if val, ok := s.cache.Get(key); ok {
-		s.cacheHits.Add(1)
-		return &SolveResponse{Kind: kind, Fingerprint: key, CacheHit: true, Result: val}, nil
+// solveSpec submits one spec to the engine and wraps the outcome in the
+// service envelope.
+func (s *Server) solveSpec(ctx context.Context, spec engine.Spec) (*SolveResponse, error) {
+	res, err := s.engine.Solve(ctx, spec)
+	if err != nil {
+		return nil, err
 	}
-	begin := time.Now()
-	type outcome struct {
-		val    []byte
-		err    error
-		cached bool
-	}
-	ch := make(chan outcome, 1)
-	go func() {
-		// cached is written by fn, which only ever runs on this goroutine
-		// (joiners share the executor's result without running fn), and is
-		// read after Do returns, so no synchronization is needed.
-		cached := false
-		val, err, shared := s.flight.Do(key, func() (val []byte, err error) {
-			// The solvers validate their inputs, but a panic on a
-			// pathological problem must not take down the daemon: this
-			// goroutine sits outside net/http's per-connection recovery.
-			defer func() {
-				if r := recover(); r != nil {
-					err = fmt.Errorf("solver panic: %v", r)
-				}
-			}()
-			// Double-check the cache: another request may have finished this
-			// exact solve between our miss above and entering the flight
-			// group. Without this re-check, N concurrent identical requests
-			// could perform up to two solves instead of exactly one.
-			if v, ok := s.cache.Get(key); ok {
-				s.cacheHits.Add(1)
-				cached = true
-				return v, nil
-			}
-			s.cacheMisses.Add(1)
-			s.solves.Add(1)
-			val, err = run()
-			if err == nil {
-				s.cache.Put(key, val)
-			}
-			return val, err
-		})
-		if shared {
-			// Joined another request's in-flight solve; count it as a miss
-			// here so every request increments exactly one of hits/misses.
-			s.flightShared.Add(1)
-			s.cacheMisses.Add(1)
-		}
-		ch <- outcome{val, err, cached}
-	}()
-	select {
-	case <-ctx.Done():
-		// The solve keeps running on its goroutine and warms the cache, so
-		// the client's retry is free.
-		return nil, ctx.Err()
-	case out := <-ch:
-		if out.err != nil {
-			return nil, out.err
-		}
-		resp := &SolveResponse{Kind: kind, Fingerprint: key, Result: out.val}
-		if out.cached {
-			// The singleflight double-check found the artifact already
-			// cached, so this request never waited on a solver: report it
-			// as the cache hit it was.
-			resp.CacheHit = true
-		} else {
-			resp.SolveMillis = float64(time.Since(begin)) / float64(time.Millisecond)
-		}
-		return resp, nil
-	}
+	return &SolveResponse{
+		Kind:        spec.Kind(),
+		Fingerprint: res.Fingerprint,
+		CacheHit:    res.CacheHit,
+		SolveMillis: res.SolveMillis,
+		Result:      res.Value,
+	}, nil
 }
 
 // respond maps a solve outcome to HTTP: validation problems are the
-// client's fault (400), timeouts are 504, anything else is 500.
+// client's fault (400), queue overflow is backpressure (429), timeouts are
+// 504, anything else is 500.
 func (s *Server) respond(w http.ResponseWriter, resp *SolveResponse, err error) {
 	switch {
 	case err == nil:
 		s.ok(w, resp)
+	case engine.IsInvalidSpec(err):
+		s.fail(w, http.StatusBadRequest, err)
+	case errors.Is(err, engine.ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		s.fail(w, http.StatusTooManyRequests, err)
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		s.fail(w, http.StatusGatewayTimeout, errors.New("solve timed out; the policy is still being computed, retry to pick it up"))
 	default:
@@ -295,142 +285,28 @@ func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFun
 	return context.WithTimeout(r.Context(), s.opts.RequestTimeout)
 }
 
-func (s *Server) handleDeadline(w http.ResponseWriter, r *http.Request) {
-	var req DeadlineRequest
-	if err := decodeInto(w, r, &req); err != nil {
-		s.fail(w, http.StatusBadRequest, err)
-		return
-	}
-	ctx, cancel := s.requestCtx(r)
-	defer cancel()
-	resp, err := s.solveDeadline(ctx, req)
-	if err != nil && isBadProblem(err) {
-		s.fail(w, http.StatusBadRequest, err)
-		return
-	}
-	s.respond(w, resp, err)
-}
-
-// isBadProblem classifies errors raised before any solver ran — problem
-// validation and fingerprinting failures — which are client errors.
-func isBadProblem(err error) bool {
-	var bad badProblemError
-	return errors.As(err, &bad)
-}
-
-type badProblemError struct{ err error }
-
-func (e badProblemError) Error() string { return e.err.Error() }
-func (e badProblemError) Unwrap() error { return e.err }
-
-func (s *Server) solveDeadline(ctx context.Context, req DeadlineRequest) (*SolveResponse, error) {
-	if err := req.checkLimits(); err != nil {
-		return nil, badProblemError{err}
-	}
-	p := req.problem(s.opts.SolverWorkers)
-	fp, err := p.Fingerprint()
-	if err != nil {
-		return nil, badProblemError{err}
-	}
-	return s.solve(ctx, KindDeadline, "deadline/efficient:"+fp, func() ([]byte, error) {
-		pol, err := p.SolveEfficient()
-		if err != nil {
-			return nil, err
+// handleKind returns the generic solve handler for one registered kind:
+// decode into the registry's Spec, submit to the engine, map the outcome.
+func (s *Server) handleKind(def engine.KindDef) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		spec := def.New()
+		if err := decodeInto(w, r, spec); err != nil {
+			s.fail(w, http.StatusBadRequest, err)
+			return
 		}
-		return json.Marshal(pol)
-	})
+		ctx, cancel := s.requestCtx(r)
+		defer cancel()
+		resp, err := s.solveSpec(ctx, spec)
+		s.respond(w, resp, err)
+	}
 }
 
-func (s *Server) handleBudget(w http.ResponseWriter, r *http.Request) {
-	var req BudgetRequest
-	if err := decodeInto(w, r, &req); err != nil {
-		s.fail(w, http.StatusBadRequest, err)
-		return
-	}
-	ctx, cancel := s.requestCtx(r)
-	defer cancel()
-	resp, err := s.solveBudget(ctx, req)
-	if err != nil && isBadProblem(err) {
-		s.fail(w, http.StatusBadRequest, err)
-		return
-	}
-	s.respond(w, resp, err)
-}
-
-func (s *Server) solveBudget(ctx context.Context, req BudgetRequest) (*SolveResponse, error) {
-	method, err := req.method()
-	if err != nil {
-		return nil, badProblemError{err}
-	}
-	if err := req.checkLimits(method); err != nil {
-		return nil, badProblemError{err}
-	}
-	p := req.problem()
-	fp, err := p.Fingerprint()
-	if err != nil {
-		return nil, badProblemError{err}
-	}
-	return s.solve(ctx, KindBudget, "budget/"+method+":"+fp, func() ([]byte, error) {
-		var strat core.StaticStrategy
-		var err error
-		if method == BudgetMethodExact {
-			strat, err = p.SolveExactDP()
-		} else {
-			strat, err = p.SolveHull()
-		}
-		if err != nil {
-			return nil, err
-		}
-		return json.Marshal(BudgetStrategy{
-			Counts:                 strat.Counts,
-			TotalCost:              strat.TotalCost(),
-			ExpectedWorkerArrivals: strat.ExpectedWorkerArrivals(p.Accept),
-		})
-	})
-}
-
-func (s *Server) handleTradeoff(w http.ResponseWriter, r *http.Request) {
-	var req TradeoffRequest
-	if err := decodeInto(w, r, &req); err != nil {
-		s.fail(w, http.StatusBadRequest, err)
-		return
-	}
-	ctx, cancel := s.requestCtx(r)
-	defer cancel()
-	resp, err := s.solveTradeoff(ctx, req)
-	if err != nil && isBadProblem(err) {
-		s.fail(w, http.StatusBadRequest, err)
-		return
-	}
-	s.respond(w, resp, err)
-}
-
-func (s *Server) solveTradeoff(ctx context.Context, req TradeoffRequest) (*SolveResponse, error) {
-	form, err := req.formulation()
-	if err != nil {
-		return nil, badProblemError{err}
-	}
-	if err := req.checkLimits(); err != nil {
-		return nil, badProblemError{err}
-	}
-	p := req.problem()
-	fp, err := p.Fingerprint()
-	if err != nil {
-		return nil, badProblemError{err}
-	}
-	return s.solve(ctx, KindTradeoff, "tradeoff/"+form+":"+fp, func() ([]byte, error) {
-		var pol *core.TradeoffPolicy
-		var err error
-		if form == TradeoffFixedRate {
-			pol, err = p.SolveFixedRate()
-		} else {
-			pol, err = p.SolveWorkerArrival()
-		}
-		if err != nil {
-			return nil, err
-		}
-		return json.Marshal(TradeoffSchedule{Price: pol.Price, Value: pol.Value})
-	})
+// batchJob pairs a decoded spec (or its decode error) with the result slot
+// it answers into.
+type batchJob struct {
+	spec engine.Spec
+	err  error
+	slot *BatchResult
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -439,7 +315,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
-	total := len(req.Deadline) + len(req.Budget) + len(req.Tradeoff)
+	total := len(req.Deadline) + len(req.Budget) + len(req.Tradeoff) + len(req.Items)
 	if total == 0 {
 		s.fail(w, http.StatusBadRequest, errors.New("empty batch"))
 		return
@@ -455,38 +331,72 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		Deadline: make([]BatchResult, len(req.Deadline)),
 		Budget:   make([]BatchResult, len(req.Budget)),
 		Tradeoff: make([]BatchResult, len(req.Tradeoff)),
+		Items:    make([]BatchResult, len(req.Items)),
 	}
+	jobs := make([]batchJob, 0, total)
+	// The typed legacy arrays are already decoded specs.
+	for i := range req.Deadline {
+		jobs = append(jobs, batchJob{spec: &req.Deadline[i], slot: &resp.Deadline[i]})
+	}
+	for i := range req.Budget {
+		jobs = append(jobs, batchJob{spec: &req.Budget[i], slot: &resp.Budget[i]})
+	}
+	for i := range req.Tradeoff {
+		jobs = append(jobs, batchJob{spec: &req.Tradeoff[i], slot: &resp.Tradeoff[i]})
+	}
+	// Generic items resolve their kind through the registry; a bad kind or
+	// body fails that item alone, never the batch.
+	for i := range req.Items {
+		job := batchJob{slot: &resp.Items[i]}
+		def, ok := s.registry.Lookup(req.Items[i].Kind)
+		if !ok {
+			job.err = fmt.Errorf("unknown problem kind %q", req.Items[i].Kind)
+		} else {
+			spec := def.New()
+			if err := strictUnmarshal(req.Items[i].Request, spec); err != nil {
+				job.err = fmt.Errorf("bad %s request: %w", req.Items[i].Kind, err)
+			} else {
+				job.spec = spec
+			}
+		}
+		jobs = append(jobs, job)
+	}
+
 	// Items run concurrently so identical ones collapse onto one solve via
-	// the singleflight layer (a batch of N clones costs one solve), but the
-	// fan-out is capped: distinct items queue on the semaphore instead of
-	// thrashing the solver with unbounded parallel backward inductions.
+	// the engine's singleflight layer (a batch of N clones costs one
+	// solve), but the fan-out is capped: distinct items queue on the
+	// semaphore instead of flooding the engine's admission queue.
 	sem := make(chan struct{}, batchWorkers)
 	var wg sync.WaitGroup
-	run := func(slot *BatchResult, solve func() (*SolveResponse, error)) {
+	for i := range jobs {
+		job := &jobs[i]
+		if job.err != nil {
+			job.slot.Error = job.err.Error()
+			continue
+		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			res, err := solve()
+			res, err := s.solveSpec(ctx, job.spec)
 			if err != nil {
-				slot.Error = err.Error()
+				job.slot.Error = err.Error()
 				return
 			}
-			slot.Response = res
+			job.slot.Response = res
 		}()
-	}
-	for i, item := range req.Deadline {
-		run(&resp.Deadline[i], func() (*SolveResponse, error) { return s.solveDeadline(ctx, item) })
-	}
-	for i, item := range req.Budget {
-		run(&resp.Budget[i], func() (*SolveResponse, error) { return s.solveBudget(ctx, item) })
-	}
-	for i, item := range req.Tradeoff {
-		run(&resp.Tradeoff[i], func() (*SolveResponse, error) { return s.solveTradeoff(ctx, item) })
 	}
 	wg.Wait()
 	s.ok(w, resp)
+}
+
+// strictUnmarshal decodes raw into v rejecting unknown fields, matching the
+// top-level decoder's strictness for nested batch items.
+func strictUnmarshal(raw json.RawMessage, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
 }
 
 // HealthStatus is the /healthz body.
@@ -494,6 +404,8 @@ type HealthStatus struct {
 	Status        string  `json:"status"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	CacheEntries  int     `json:"cache_entries"`
+	// Kinds lists the problem kinds this daemon serves.
+	Kinds []string `json:"kinds"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -501,7 +413,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.ok(w, HealthStatus{
 		Status:        "ok",
 		UptimeSeconds: time.Since(s.start).Seconds(),
-		CacheEntries:  s.cache.Len(),
+		CacheEntries:  int(s.engine.Metrics().CacheEntries),
+		Kinds:         s.registry.Kinds(),
 	})
 }
 
@@ -525,15 +438,44 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"crowdpricing_requests_total", "counter", "HTTP requests accepted.", m.Requests},
 		{"crowdpricing_cache_hits_total", "counter", "Solve requests served from the warm policy cache.", m.CacheHits},
 		{"crowdpricing_cache_misses_total", "counter", "Solve requests that consulted the solver layer.", m.CacheMisses},
-		{"crowdpricing_solves_total", "counter", "Solver executions actually performed.", m.Solves},
 		{"crowdpricing_singleflight_shared_total", "counter", "Requests deduplicated onto another request's in-flight solve.", m.SingleflightShared},
 		{"crowdpricing_errors_total", "counter", "Non-2xx responses.", m.Errors},
 		{"crowdpricing_cache_entries", "gauge", "Policies currently cached.", m.CacheEntries},
+		{"crowdpricing_queue_depth", "gauge", "Cold solves admitted and waiting for a worker.", m.QueueDepth},
+		{"crowdpricing_inflight_solves", "gauge", "Solves currently occupying an engine worker.", m.InFlightSolves},
 	} {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n",
 			row.name, row.help, row.name, row.typ, row.name, row.value)
 	}
+	s.writeKindCounter(w, "crowdpricing_solves_total",
+		"Solver executions actually performed, by problem kind.", m.SolvesByKind)
+	s.writeKindCounter(w, "crowdpricing_rejections_total",
+		"Cold solves shed with 429 because the admission queue was full, by problem kind.", m.RejectedByKind)
 	s.writeLatencyHistogram(w)
+}
+
+// writeKindCounter renders one kind-labeled counter family. Every
+// registered kind gets a series (zero until touched) so dashboards see a
+// stable label set; kinds observed by the engine but absent from the
+// registry (embedded custom specs) are appended after.
+func (s *Server) writeKindCounter(w http.ResponseWriter, name, help string, byKind map[string]int64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+	known := s.registry.Kinds()
+	seen := make(map[string]bool, len(known))
+	for _, kind := range known {
+		seen[kind] = true
+		fmt.Fprintf(w, "%s{kind=%q} %d\n", name, kind, byKind[kind])
+	}
+	extra := make([]string, 0, len(byKind))
+	for kind := range byKind {
+		if !seen[kind] {
+			extra = append(extra, kind)
+		}
+	}
+	sort.Strings(extra)
+	for _, kind := range extra {
+		fmt.Fprintf(w, "%s{kind=%q} %d\n", name, kind, byKind[kind])
+	}
 }
 
 // writeLatencyHistogram renders the per-endpoint request-duration

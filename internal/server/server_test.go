@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -13,6 +14,7 @@ import (
 	"time"
 
 	"crowdpricing/internal/choice"
+	"crowdpricing/internal/engine"
 	"crowdpricing/internal/exp"
 )
 
@@ -47,11 +49,25 @@ func testTradeoffRequest() TradeoffRequest {
 	return TradeoffRequest{N: 50, Alpha: 10, Lambda: 200, Accept: testAccept, MinPrice: 1, MaxPrice: 50}
 }
 
+func testMultiRequest() MultiRequest {
+	return MultiRequest{
+		Counts:    []int{3, 2},
+		Intervals: 4,
+		Lambdas:   []float64{30, 30, 30, 30},
+		Accepts:   []LogisticParams{testAccept, {S: 12, B: -0.4, M: 1500}},
+		MinPrice:  1,
+		MaxPrice:  6,
+		Penalty:   100,
+		TruncEps:  1e-9,
+	}
+}
+
 func newTestServer(t testing.TB, opts Options) (*Server, *httptest.Server) {
 	t.Helper()
 	s := New(opts)
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
+	t.Cleanup(s.Close)
 	return s, ts
 }
 
@@ -384,26 +400,146 @@ func TestServiceLimits(t *testing.T) {
 	}
 }
 
-// TestSolverPanicIsContained: a request that panics the solver layer must
-// answer 500, not kill the daemon.
-func TestSolverPanicIsContained(t *testing.T) {
-	s := New(Options{})
-	resp, err := s.solve(context.Background(), "test", "test:panic", func() ([]byte, error) {
+// stubSpec is a controllable problem kind for exercising the server's
+// engine integration (panics, blocking solves) over real HTTP.
+type stubSpec struct {
+	ID    string `json:"id"`
+	Panic bool   `json:"panic,omitempty"`
+	Block bool   `json:"block,omitempty"`
+
+	gate chan struct{}
+}
+
+func (s *stubSpec) Kind() string { return "stub" }
+func (s *stubSpec) Validate() error {
+	if s.ID == "" {
+		return fmt.Errorf("stub: empty id")
+	}
+	return nil
+}
+func (s *stubSpec) Fingerprint() (string, error) {
+	if err := s.Validate(); err != nil {
+		return "", err
+	}
+	return "stub/test:" + s.ID, nil
+}
+func (s *stubSpec) Solve(ctx context.Context) ([]byte, error) {
+	if s.Block && s.gate != nil {
+		<-s.gate
+	}
+	if s.Panic {
 		panic("boom")
+	}
+	return []byte(`{"ok":"` + s.ID + `"}`), nil
+}
+
+// stubRegistry serves only the stub kind; gate is shared by every decoded
+// spec so tests can wedge the engine deterministically.
+func stubRegistry(gate chan struct{}) *engine.Registry {
+	reg := engine.NewRegistry()
+	reg.Register(engine.KindDef{
+		Kind: "stub",
+		New:  func() engine.Spec { return &stubSpec{gate: gate} },
 	})
-	if err == nil || resp != nil {
-		t.Fatalf("solve = %v, %v; want contained panic error", resp, err)
+	return reg
+}
+
+// TestSolverPanicIsContained: a request that panics the solver layer must
+// answer 500, not kill the daemon, and must release the singleflight entry
+// so the key stays usable.
+func TestSolverPanicIsContained(t *testing.T) {
+	_, ts := newTestServer(t, Options{Registry: stubRegistry(nil)})
+	res, err := http.Post(ts.URL+"/v1/solve/stub", "application/json",
+		strings.NewReader(`{"id":"x","panic":true}`))
+	if err != nil {
+		t.Fatal(err)
 	}
-	if !strings.Contains(err.Error(), "solver panic") {
-		t.Errorf("error %q does not mention the panic", err)
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panicking solve: status %d, want 500", res.StatusCode)
 	}
-	// The flight entry must be released so the key is usable again.
-	got, err := s.solve(context.Background(), "test", "test:panic", func() ([]byte, error) {
-		return []byte("ok"), nil
-	})
-	if err != nil || string(got.Result) != "ok" {
-		t.Fatalf("key unusable after panic: %v, %v", got, err)
+	var e struct {
+		Error string `json:"error"`
 	}
+	if err := json.NewDecoder(res.Body).Decode(&e); err != nil || !strings.Contains(e.Error, "solver panic") {
+		t.Errorf("error body %q does not mention the panic (%v)", e.Error, err)
+	}
+	// The key must be usable again.
+	res2, err := http.Post(ts.URL+"/v1/solve/stub", "application/json",
+		strings.NewReader(`{"id":"x"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res2.Body.Close()
+	if res2.StatusCode != http.StatusOK {
+		t.Fatalf("key unusable after panic: status %d", res2.StatusCode)
+	}
+}
+
+// TestQueueOverflowReturns429 wedges a 1-worker/1-slot engine and checks
+// the admission controller sheds the third distinct solve with HTTP 429
+// (and a Retry-After hint) instead of queueing unbounded work, that the
+// rejection is counted per kind, and that warm cache hits still serve while
+// the queue is full.
+func TestQueueOverflowReturns429(t *testing.T) {
+	gate := make(chan struct{})
+	s, ts := newTestServer(t, Options{Registry: stubRegistry(gate), Workers: 1, QueueDepth: 1})
+	client := NewClient(ts.URL)
+	ctx := context.Background()
+
+	// Prime a warm artifact before wedging the engine.
+	if _, err := client.Solve(ctx, "stub", stubSpec{ID: "hot"}); err != nil {
+		t.Fatal(err)
+	}
+
+	post := func(id string, errs chan error) {
+		go func() {
+			_, err := client.Solve(ctx, "stub", stubSpec{ID: id, Block: true})
+			errs <- err
+		}()
+	}
+	inflight := make(chan error, 2)
+	post("wedge-worker", inflight)
+	waitForMetric(t, s, func(m MetricsSnapshot) bool { return m.InFlightSolves == 1 })
+	post("fill-queue", inflight)
+	waitForMetric(t, s, func(m MetricsSnapshot) bool { return m.QueueDepth == 1 })
+
+	_, err := client.Solve(ctx, "stub", stubSpec{ID: "overflow", Block: true})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow solve err = %v, want HTTP 429", err)
+	}
+	if !apiErr.IsBackpressure() {
+		t.Error("APIError.IsBackpressure() = false for a 429")
+	}
+	if got := s.Metrics().RejectedByKind["stub"]; got != 1 {
+		t.Errorf("rejections{kind=stub} = %d, want 1", got)
+	}
+
+	// Warm hits bypass the queue even at capacity.
+	warm, err := client.Solve(ctx, "stub", stubSpec{ID: "hot"})
+	if err != nil || !warm.CacheHit {
+		t.Fatalf("warm hit under full queue: resp=%+v err=%v", warm, err)
+	}
+
+	close(gate)
+	for i := 0; i < 2; i++ {
+		if err := <-inflight; err != nil {
+			t.Errorf("admitted solve failed: %v", err)
+		}
+	}
+}
+
+func waitForMetric(t *testing.T, s *Server, cond func(MetricsSnapshot) bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond(s.Metrics()) {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("metric condition not reached within 5s")
 }
 
 func TestOversizedBodyRejected(t *testing.T) {
@@ -467,10 +603,15 @@ func TestHealthzAndMetrics(t *testing.T) {
 		"crowdpricing_requests_total",
 		"crowdpricing_cache_hits_total 0",
 		"crowdpricing_cache_misses_total 1",
-		"crowdpricing_solves_total 1",
+		`crowdpricing_solves_total{kind="budget"} 1`,
+		`crowdpricing_solves_total{kind="deadline"} 0`,
+		`crowdpricing_solves_total{kind="multi"} 0`,
+		`crowdpricing_rejections_total{kind="budget"} 0`,
 		"crowdpricing_singleflight_shared_total 0",
 		"crowdpricing_errors_total 0",
 		"crowdpricing_cache_entries 1",
+		"crowdpricing_queue_depth 0",
+		"crowdpricing_inflight_solves 0",
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("metrics output missing %q:\n%s", want, body)
@@ -499,6 +640,93 @@ func TestCacheEvictionEndToEnd(t *testing.T) {
 	}
 }
 
+// TestMultiKindGeneric is the registry's payoff test: the fourth kind
+// ("multi", the paper's general-k extension) is served over HTTP, through
+// the generic client path, and inside generic batch items — with zero
+// per-kind code in the server, client, or batch layers.
+func TestMultiKindGeneric(t *testing.T) {
+	s, ts := newTestServer(t, Options{})
+	client := NewClient(ts.URL)
+	ctx := context.Background()
+	req := testMultiRequest()
+
+	cold, err := client.Solve(ctx, KindMulti, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Kind != KindMulti || cold.CacheHit {
+		t.Errorf("cold response kind=%q hit=%v, want multi/false", cold.Kind, cold.CacheHit)
+	}
+	if !strings.HasPrefix(cold.Fingerprint, "multi/joint:") {
+		t.Errorf("fingerprint %q missing the multi variant prefix", cold.Fingerprint)
+	}
+	var sched MultiSchedule
+	if err := cold.Decode(&sched); err != nil {
+		t.Fatal(err)
+	}
+	if len(sched.Prices) != req.Intervals || sched.Value <= 0 {
+		t.Errorf("implausible schedule: %d interval rows, value %v", len(sched.Prices), sched.Value)
+	}
+
+	warm, err := client.Solve(ctx, KindMulti, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.CacheHit || !bytes.Equal(warm.Result, cold.Result) {
+		t.Error("repeated multi request missed the cache or returned different bytes")
+	}
+
+	// The same problem through a generic batch item is the same artifact —
+	// and a warm hit, since the single endpoint just solved it.
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := client.SolveBatch(ctx, BatchRequest{
+		Items:  []BatchItem{{Kind: KindMulti, Request: body}, {Kind: "no-such-kind", Request: body}},
+		Budget: []BudgetRequest{testBudgetRequest()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := batch.Items[0]; got.Error != "" || !bytes.Equal(got.Response.Result, cold.Result) {
+		t.Errorf("batch multi item: error %q, bytes match %v", got.Error, got.Error == "" && bytes.Equal(got.Response.Result, cold.Result))
+	}
+	if !batch.Items[0].Response.CacheHit {
+		t.Error("batch multi item missed the warm cache")
+	}
+	if got := batch.Items[1]; got.Error == "" || !strings.Contains(got.Error, "unknown problem kind") {
+		t.Errorf("unknown-kind batch item error = %q, want an unknown-kind error", got.Error)
+	}
+	if batch.Budget[0].Error != "" {
+		t.Errorf("legacy typed batch item failed: %s", batch.Budget[0].Error)
+	}
+
+	if m := s.Metrics(); m.SolvesByKind[KindMulti] != 1 {
+		t.Errorf("solves{kind=multi} = %d, want 1", m.SolvesByKind[KindMulti])
+	}
+
+	// An invalid multi problem is the client's fault.
+	bad := testMultiRequest()
+	bad.Counts = []int{0, 2}
+	if _, err := client.Solve(ctx, KindMulti, bad); err == nil || !strings.Contains(err.Error(), "400") {
+		t.Errorf("invalid multi: err = %v, want 400", err)
+	}
+}
+
+// TestUnknownKindRoute: /v1/solve/{kind} only exists for registered kinds.
+func TestUnknownKindRoute(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	res, err := http.Post(ts.URL+"/v1/solve/astrology", "application/json", strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown kind: status %d, want 404", res.StatusCode)
+	}
+}
+
 // paperScaleRequest is the Section 5.2 default instance (N=200, 24h horizon,
 // 72 intervals of 20 minutes, C=50) on the wire — the benchmark's cold
 // solve is the full paper-scale backward induction.
@@ -520,7 +748,7 @@ func paperScaleRequest() DeadlineRequest {
 
 func solveOnce(b *testing.B, s *Server, req DeadlineRequest) *SolveResponse {
 	b.Helper()
-	resp, err := s.solveDeadline(context.Background(), req)
+	resp, err := s.solveSpec(context.Background(), &req)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -538,6 +766,9 @@ func BenchmarkDeadlineColdSolve(b *testing.B) {
 		s := New(Options{}) // empty cache every iteration
 		b.StartTimer()
 		solveOnce(b, s, req)
+		b.StopTimer()
+		s.Close()
+		b.StartTimer()
 	}
 }
 

@@ -4,261 +4,81 @@ import (
 	"encoding/json"
 	"fmt"
 
-	"crowdpricing/internal/choice"
 	"crowdpricing/internal/core"
+	"crowdpricing/internal/kinds"
 )
 
-// LogisticParams is the wire form of the Equation-3 acceptance curve
-// p(c) = exp(c/S − B) / (exp(c/S − B) + M). It is the only acceptance
-// representation the service accepts: an arbitrary AcceptanceFn has no
-// canonical content to hash, and the cache is keyed by content.
-type LogisticParams struct {
-	S float64 `json:"s"`
-	B float64 `json:"b"`
-	M float64 `json:"m"`
-}
+// The wire-level problem specifications live in internal/kinds (one Spec
+// implementation per problem kind, registered with the engine's registry);
+// this file re-exports them under their historical server names so existing
+// callers keep compiling, and defines the server-owned envelope types
+// (SolveResponse, batch requests) that wrap any kind generically.
 
-func (l LogisticParams) curve() choice.Logistic {
-	return choice.Logistic{S: l.S, B: l.B, M: l.M}
-}
-
-// Service-level size limits. The library itself is uncapped, but a shared
-// daemon must bound what one request can make it allocate: a deadline
-// policy is O(N·Intervals) cells, the DP tables are O(priceRange·N), and
-// the exact budget DP is O(N·Budget) space and O(N·Budget·priceRange)
-// time. Every limit is far above paper scale (N=200, 72 intervals, C=50).
-// Requests beyond a limit are rejected with HTTP 400 before any solver
-// work.
-const (
-	// MaxTasks bounds N for every problem kind.
-	MaxTasks = 10_000
-	// MaxIntervals bounds the deadline discretization.
-	MaxIntervals = 10_000
-	// MaxStateCells bounds N·Intervals, the solved deadline policy size.
-	MaxStateCells = 1_000_000
-	// MaxPriceRange bounds MaxPrice − MinPrice for every problem kind.
-	MaxPriceRange = 1_000
-	// MaxBudget bounds the budget in cents (hull method).
-	MaxBudget = 1_000_000
-	// MaxExactTasks and MaxExactBudget bound the pseudo-polynomial exact
-	// budget DP, whose cost scales with N·Budget rather than N alone.
-	MaxExactTasks  = 500
-	MaxExactBudget = 50_000
-)
+// LogisticParams is the wire form of the Equation-3 acceptance curve.
+type LogisticParams = kinds.LogisticParams
 
 // DeadlineRequest asks for a fixed-deadline dynamic pricing policy
-// (Section 3 of the paper): complete N tasks within HorizonHours at minimum
-// expected cost. It mirrors core.DeadlineProblem field for field, minus the
-// runtime-only Workers knob, which the daemon owns.
-type DeadlineRequest struct {
-	// N is the number of tasks in the batch.
-	N int `json:"n"`
-	// HorizonHours is the time before the deadline.
-	HorizonHours float64 `json:"horizon_hours"`
-	// Intervals is the number of price-change intervals; len(Lambdas) must
-	// equal it.
-	Intervals int `json:"intervals"`
-	// Lambdas[t] is the expected number of worker arrivals in interval t.
-	Lambdas []float64 `json:"lambdas"`
-	// Accept is the acceptance curve.
-	Accept LogisticParams `json:"accept"`
-	// MinPrice and MaxPrice bound the price search in cents (inclusive).
-	MinPrice int `json:"min_price"`
-	MaxPrice int `json:"max_price"`
-	// Penalty is the terminal cost per unfinished task; Alpha the optional
-	// Section 3.3 surcharge.
-	Penalty float64 `json:"penalty"`
-	Alpha   float64 `json:"alpha,omitempty"`
-	// TruncEps is the Poisson truncation threshold (0 = exact sums).
-	TruncEps float64 `json:"trunc_eps,omitempty"`
-}
+// (Section 3).
+type DeadlineRequest = kinds.DeadlineRequest
 
-func (r *DeadlineRequest) checkLimits() error {
-	switch {
-	case r.N > MaxTasks:
-		return fmt.Errorf("n %d exceeds the service limit %d", r.N, MaxTasks)
-	case r.Intervals > MaxIntervals:
-		return fmt.Errorf("intervals %d exceeds the service limit %d", r.Intervals, MaxIntervals)
-	case r.N > 0 && r.Intervals > 0 && r.N*r.Intervals > MaxStateCells:
-		return fmt.Errorf("n×intervals %d exceeds the service limit %d", r.N*r.Intervals, MaxStateCells)
-	case r.MaxPrice-r.MinPrice > MaxPriceRange:
-		return fmt.Errorf("price range %d exceeds the service limit %d", r.MaxPrice-r.MinPrice, MaxPriceRange)
-	}
-	return nil
-}
+// BudgetRequest asks for a fixed-budget static allocation (Section 4).
+type BudgetRequest = kinds.BudgetRequest
 
-func (r *DeadlineRequest) problem(workers int) *core.DeadlineProblem {
-	return &core.DeadlineProblem{
-		N:         r.N,
-		Horizon:   r.HorizonHours,
-		Intervals: r.Intervals,
-		Lambdas:   r.Lambdas,
-		Accept:    r.Accept.curve(),
-		MinPrice:  r.MinPrice,
-		MaxPrice:  r.MaxPrice,
-		Penalty:   r.Penalty,
-		Alpha:     r.Alpha,
-		TruncEps:  r.TruncEps,
-		Workers:   workers,
-	}
-}
+// TradeoffRequest asks for a cost/latency trade-off policy (Section 6).
+type TradeoffRequest = kinds.TradeoffRequest
+
+// MultiRequest asks for the general-k multi-type joint pricing policy
+// (Section 6 extension).
+type MultiRequest = kinds.MultiRequest
+
+// BudgetStrategy is the solved budget allocation on the wire.
+type BudgetStrategy = kinds.BudgetStrategy
+
+// TradeoffSchedule is the solved trade-off policy on the wire.
+type TradeoffSchedule = kinds.TradeoffSchedule
+
+// MultiSchedule is the solved general-k multi-type policy on the wire.
+type MultiSchedule = kinds.MultiSchedule
+
+// Problem kinds, as they appear in /v1/solve/{kind} routes and responses.
+const (
+	KindDeadline = kinds.KindDeadline
+	KindBudget   = kinds.KindBudget
+	KindTradeoff = kinds.KindTradeoff
+	KindMulti    = kinds.KindMulti
+)
 
 // Budget solve methods.
 const (
-	// BudgetMethodHull is Algorithm 3: the near-optimal two-price strategy
-	// from the lower convex hull of (c, 1/p(c)). The default.
-	BudgetMethodHull = "hull"
-	// BudgetMethodExact is the exact pseudo-polynomial DP of Theorem 6.
-	BudgetMethodExact = "exact"
+	BudgetMethodHull  = kinds.BudgetMethodHull
+	BudgetMethodExact = kinds.BudgetMethodExact
 )
-
-// BudgetRequest asks for a fixed-budget static price allocation
-// (Section 4): complete N tasks within Budget cents while minimizing the
-// expected completion time.
-type BudgetRequest struct {
-	N      int `json:"n"`
-	Budget int `json:"budget"`
-	// Accept is the acceptance curve.
-	Accept LogisticParams `json:"accept"`
-	// MinPrice and MaxPrice bound candidate prices in cents (inclusive).
-	MinPrice int `json:"min_price"`
-	MaxPrice int `json:"max_price"`
-	// Method selects the solver: BudgetMethodHull (default) or
-	// BudgetMethodExact. The method is part of the cache key — the two
-	// solvers may return different (equally valid) allocations.
-	Method string `json:"method,omitempty"`
-}
-
-func (r *BudgetRequest) checkLimits(method string) error {
-	switch {
-	case r.N > MaxTasks:
-		return fmt.Errorf("n %d exceeds the service limit %d", r.N, MaxTasks)
-	case r.Budget > MaxBudget:
-		return fmt.Errorf("budget %d exceeds the service limit %d", r.Budget, MaxBudget)
-	case r.MaxPrice-r.MinPrice > MaxPriceRange:
-		return fmt.Errorf("price range %d exceeds the service limit %d", r.MaxPrice-r.MinPrice, MaxPriceRange)
-	}
-	if method == BudgetMethodExact {
-		if r.N > MaxExactTasks {
-			return fmt.Errorf("n %d exceeds the service limit %d for method %q", r.N, MaxExactTasks, method)
-		}
-		if r.Budget > MaxExactBudget {
-			return fmt.Errorf("budget %d exceeds the service limit %d for method %q", r.Budget, MaxExactBudget, method)
-		}
-	}
-	return nil
-}
-
-func (r *BudgetRequest) problem() *core.BudgetProblem {
-	return &core.BudgetProblem{
-		N:        r.N,
-		Budget:   r.Budget,
-		Accept:   r.Accept.curve(),
-		MinPrice: r.MinPrice,
-		MaxPrice: r.MaxPrice,
-	}
-}
-
-func (r *BudgetRequest) method() (string, error) {
-	switch r.Method {
-	case "", BudgetMethodHull:
-		return BudgetMethodHull, nil
-	case BudgetMethodExact:
-		return BudgetMethodExact, nil
-	default:
-		return "", fmt.Errorf("unknown budget method %q (want %q or %q)", r.Method, BudgetMethodHull, BudgetMethodExact)
-	}
-}
-
-// BudgetStrategy is the solved allocation: how many tasks to post at each
-// price, with the headline statistics precomputed server-side.
-type BudgetStrategy struct {
-	// Counts maps price in cents to the number of tasks at that price; by
-	// Theorem 7 at most two prices appear.
-	Counts map[int]int `json:"counts"`
-	// TotalCost is the committed spend Σ c·n_c in cents.
-	TotalCost int `json:"total_cost"`
-	// ExpectedWorkerArrivals is E[W] = Σ 1/p(cᵢ) (Theorem 5), the quantity
-	// every budget strategy minimizes.
-	ExpectedWorkerArrivals float64 `json:"expected_worker_arrivals"`
-}
 
 // Trade-off formulations.
 const (
-	// TradeoffWorkerArrival transitions per worker arrival under the
-	// Section 4.2.2 linearity assumption. The default.
-	TradeoffWorkerArrival = "worker_arrival"
-	// TradeoffFixedRate assumes a constant rate and unit-time steps small
-	// enough that at most one task completes per step.
-	TradeoffFixedRate = "fixed_rate"
+	TradeoffWorkerArrival = kinds.TradeoffWorkerArrival
+	TradeoffFixedRate     = kinds.TradeoffFixedRate
 )
 
-// TradeoffRequest asks for the stationary policy minimizing the Section 6
-// combined objective E(cost) + Alpha·E(latency), with neither a hard
-// deadline nor a hard budget.
-type TradeoffRequest struct {
-	N int `json:"n"`
-	// Alpha is the latency weight in cost units per hour.
-	Alpha float64 `json:"alpha"`
-	// Lambda is the average worker arrival rate per hour.
-	Lambda float64 `json:"lambda"`
-	// Accept is the acceptance curve.
-	Accept LogisticParams `json:"accept"`
-	// MinPrice and MaxPrice bound the price search in cents (inclusive).
-	MinPrice int `json:"min_price"`
-	MaxPrice int `json:"max_price"`
-	// Formulation selects TradeoffWorkerArrival (default) or
-	// TradeoffFixedRate; like the budget method it is part of the cache key.
-	Formulation string `json:"formulation,omitempty"`
-}
-
-func (r *TradeoffRequest) checkLimits() error {
-	switch {
-	case r.N > MaxTasks:
-		return fmt.Errorf("n %d exceeds the service limit %d", r.N, MaxTasks)
-	case r.MaxPrice-r.MinPrice > MaxPriceRange:
-		return fmt.Errorf("price range %d exceeds the service limit %d", r.MaxPrice-r.MinPrice, MaxPriceRange)
-	}
-	return nil
-}
-
-func (r *TradeoffRequest) problem() *core.TradeoffProblem {
-	return &core.TradeoffProblem{
-		N:        r.N,
-		Alpha:    r.Alpha,
-		Lambda:   r.Lambda,
-		Accept:   r.Accept.curve(),
-		MinPrice: r.MinPrice,
-		MaxPrice: r.MaxPrice,
-	}
-}
-
-func (r *TradeoffRequest) formulation() (string, error) {
-	switch r.Formulation {
-	case "", TradeoffWorkerArrival:
-		return TradeoffWorkerArrival, nil
-	case TradeoffFixedRate:
-		return TradeoffFixedRate, nil
-	default:
-		return "", fmt.Errorf("unknown tradeoff formulation %q (want %q or %q)", r.Formulation, TradeoffWorkerArrival, TradeoffFixedRate)
-	}
-}
-
-// TradeoffSchedule is the solved stationary policy: Price[n] is the reward
-// to post while n tasks remain, Value[n] the optimal expected remaining
-// objective.
-type TradeoffSchedule struct {
-	Price []int     `json:"price"`
-	Value []float64 `json:"value"`
-}
+// Service-level size limits (see internal/kinds for the rationale).
+const (
+	MaxTasks       = kinds.MaxTasks
+	MaxIntervals   = kinds.MaxIntervals
+	MaxStateCells  = kinds.MaxStateCells
+	MaxPriceRange  = kinds.MaxPriceRange
+	MaxBudget      = kinds.MaxBudget
+	MaxExactTasks  = kinds.MaxExactTasks
+	MaxExactBudget = kinds.MaxExactBudget
+)
 
 // SolveResponse is the envelope every solve endpoint returns. Result holds
 // the solved artifact exactly as cached — a core.DeadlinePolicy JSON
-// document for deadline requests, a BudgetStrategy for budget requests, a
-// TradeoffSchedule for trade-off requests — so concurrent and repeated
-// requests for the same problem receive byte-identical artifacts.
+// document for deadline requests, a BudgetStrategy for budget requests, and
+// so on — so concurrent and repeated requests for the same problem receive
+// byte-identical artifacts.
 type SolveResponse struct {
-	// Kind is "deadline", "budget", or "tradeoff".
+	// Kind is the problem kind that produced Result ("deadline", "budget",
+	// "tradeoff", "multi", …).
 	Kind string `json:"kind"`
 	// Fingerprint identifies the solved artifact: the solver variant plus
 	// the canonical content hash of the problem (core.*.Fingerprint). Equal
@@ -271,9 +91,15 @@ type SolveResponse struct {
 	// (the full solve for the caller that ran it, the residual wait for
 	// callers deduplicated onto it). Zero on a warm cache hit.
 	SolveMillis float64 `json:"solve_ms"`
-	// Result is the solved artifact; decode it with DecodePolicy,
-	// DecodeBudget, or DecodeTradeoff according to Kind.
+	// Result is the solved artifact; decode it with Decode (any kind) or
+	// the typed DecodePolicy / DecodeBudget / DecodeTradeoff helpers.
 	Result json.RawMessage `json:"result"`
+}
+
+// Decode unmarshals the solved artifact into v — the kind-generic path
+// (e.g. a *MultiSchedule for "multi" responses).
+func (r *SolveResponse) Decode(v any) error {
+	return json.Unmarshal(r.Result, v)
 }
 
 // DecodePolicy decodes a deadline Result into a solved policy ready for
@@ -313,21 +139,25 @@ func (r *SolveResponse) DecodeTradeoff() (*TradeoffSchedule, error) {
 	return &s, nil
 }
 
-// Response kinds.
-const (
-	KindDeadline = "deadline"
-	KindBudget   = "budget"
-	KindTradeoff = "tradeoff"
-)
+// BatchItem is one problem of any registered kind inside a batch: the kind
+// name plus its request body verbatim. New kinds are batchable through
+// Items with zero server changes.
+type BatchItem struct {
+	Kind    string          `json:"kind"`
+	Request json.RawMessage `json:"request"`
+}
 
 // BatchRequest solves many problems in one round trip. The items run
 // concurrently on the daemon, and duplicates — within the batch or against
 // other in-flight requests — are deduplicated by the same fingerprint
-// machinery as the single endpoints.
+// machinery as the single endpoints. The typed Deadline/Budget/Tradeoff
+// arrays predate the kind registry and remain supported; Items carries any
+// registered kind.
 type BatchRequest struct {
 	Deadline []DeadlineRequest `json:"deadline,omitempty"`
 	Budget   []BudgetRequest   `json:"budget,omitempty"`
 	Tradeoff []TradeoffRequest `json:"tradeoff,omitempty"`
+	Items    []BatchItem       `json:"items,omitempty"`
 }
 
 // BatchResult is the per-item outcome: exactly one of Response or Error is
@@ -338,11 +168,12 @@ type BatchResult struct {
 }
 
 // BatchResponse mirrors BatchRequest positionally: Deadline[i] answers
-// request Deadline[i], and so on.
+// request Deadline[i], Items[i] answers Items[i], and so on.
 type BatchResponse struct {
 	Deadline []BatchResult `json:"deadline,omitempty"`
 	Budget   []BatchResult `json:"budget,omitempty"`
 	Tradeoff []BatchResult `json:"tradeoff,omitempty"`
+	Items    []BatchResult `json:"items,omitempty"`
 }
 
 // errorResponse is the JSON body of every non-2xx reply.
