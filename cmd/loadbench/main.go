@@ -8,11 +8,20 @@
 // (HTTP 429 from the daemon's admission queue) is reported in its own
 // `rejected` bucket, separate from errors.
 //
+// Two scenarios are supported. The default (-scenario solve) fires
+// stateless solve requests. -scenario campaign replays the stateful
+// lifecycle instead: every scheduled arrival starts a campaign session —
+// create, then -campaign-steps observe+quote pairs from a seed-determined
+// observation script, then finish — so the run exercises the campaign
+// table, the O(1) quote path, and (with -campaign-adaptive) the §5.2.5
+// re-planning controller; latency is measured per session.
+//
 // Examples:
 //
 //	loadbench -duration 10s -seed 1 -out BENCH_loadbench.json
 //	loadbench -url http://localhost:8080 -rate 200 -size paper -cardinality 64
 //	loadbench -mix "deadline=5,budget=3,tradeoff=2,multi=1" -duration 10s
+//	loadbench -scenario campaign -campaign-steps 6 -rate 10 -duration 10s
 //	loadbench -duration 10s -baseline BENCH_old.json -threshold 0.10
 //
 // Exit codes: 0 success; 1 usage or run failure (an interrupted run that
@@ -30,6 +39,9 @@
 //	-cardinality int      distinct problems per kind — the cache hit-rate dial (default 16)
 //	-size string          problem scale: small, medium, or paper (default "small")
 //	-shape string         arrival profile: constant or diurnal (default "constant")
+//	-scenario string      workload: solve or campaign (default "solve")
+//	-campaign-steps int   campaign scenario: observe/quote pairs per session (default 8)
+//	-campaign-adaptive    campaign scenario: run sessions in adaptive re-planning mode
 //	-url string           target daemon base URL; empty runs in-process
 //	-cache int            in-process mode: policy cache capacity (default 1024)
 //	-workers int          in-process mode: goroutines inside each cold deadline solve (default 0 = all CPUs)
@@ -78,6 +90,9 @@ func main() {
 		cardinality = flag.Int("cardinality", 16, "distinct problems per kind — the cache hit-rate dial")
 		size        = flag.String("size", "small", "problem scale: small, medium, or paper")
 		shape       = flag.String("shape", "constant", "arrival profile: constant or diurnal")
+		scenario    = flag.String("scenario", "solve", "workload: stateless solve requests or stateful campaign sessions (solve | campaign)")
+		campSteps   = flag.Int("campaign-steps", 0, "campaign scenario: observe/quote pairs per session (0 = default 8)")
+		campAdapt   = flag.Bool("campaign-adaptive", false, "campaign scenario: run every session in adaptive re-planning mode")
 		url         = flag.String("url", "", "target daemon base URL; empty runs in-process")
 		cacheSize   = flag.Int("cache", server.DefaultCacheSize, "in-process mode: policy cache capacity")
 		workers     = flag.Int("workers", 0, "in-process mode: goroutines inside each cold deadline solve (0 = all CPUs)")
@@ -100,14 +115,17 @@ func main() {
 		log.Fatal(err)
 	}
 	cfg := bench.Config{
-		Seed:        *seed,
-		Rate:        *rateRPS,
-		Duration:    *duration,
-		Warmup:      *warmup,
-		Mix:         mix,
-		Cardinality: *cardinality,
-		Size:        bench.Size(*size),
-		Shape:       bench.Shape(*shape),
+		Seed:             *seed,
+		Rate:             *rateRPS,
+		Duration:         *duration,
+		Warmup:           *warmup,
+		Mix:              mix,
+		Cardinality:      *cardinality,
+		Size:             bench.Size(*size),
+		Shape:            bench.Shape(*shape),
+		Scenario:         bench.Scenario(*scenario),
+		CampaignSteps:    *campSteps,
+		CampaignAdaptive: *campAdapt,
 	}
 	sched, err := bench.GenerateSchedule(cfg)
 	if err != nil {
@@ -115,18 +133,19 @@ func main() {
 	}
 
 	targetName := "in-process"
-	var target bench.Target
+	var base *bench.ClientTarget
 	if *url != "" {
 		targetName = *url
-		target = bench.NewHTTPTarget(*url)
+		base = bench.NewHTTPTarget(*url)
 	} else {
-		target, _ = bench.NewInProcessTarget(server.Options{
+		base, _ = bench.NewInProcessTarget(server.Options{
 			CacheSize:     *cacheSize,
 			SolverWorkers: *workers,
 			Workers:       *solveConc,
 			QueueDepth:    *queueDepth,
 		})
 	}
+	target := bench.NewTargetFor(sched, base.Client)
 
 	log.Printf("replaying %d requests (%s warmup + %s measured) against %s, schedule %.12s…",
 		len(sched.Requests), *warmup, *duration, targetName, sched.Hash)

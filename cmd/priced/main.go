@@ -16,10 +16,21 @@
 //	        "accept": {"s": 15, "b": -0.39, "m": 2000},
 //	        "min_price": 1, "max_price": 50}'
 //
+// The daemon also runs stateful campaigns — the paper's online loop:
+// POST /v1/campaigns registers a batch under a solved policy (optionally
+// with §5.2.5 adaptive re-planning), POST /v1/campaigns/{id}/observe
+// records each interval's arrivals and completions, and
+// GET /v1/campaigns/{id}/price quotes the policy's current price in O(1).
+// Idle campaigns expire after -campaign-ttl; with -campaign-snapshot the
+// table is restored from the file at boot and written back on graceful
+// shutdown, so restarts resume quoting identical prices.
+//
 // Endpoints: POST /v1/solve/{kind} (deadline | budget | tradeoff | multi),
-// POST /v1/solve/batch; GET /healthz, /metrics (Prometheus text format,
-// including queue-depth/in-flight gauges and per-kind solve and rejection
-// counters).
+// POST /v1/solve/batch; POST /v1/campaigns, POST
+// /v1/campaigns/{id}/observe, GET /v1/campaigns/{id}[/price], DELETE
+// /v1/campaigns/{id}; GET /healthz, /metrics (Prometheus text format,
+// including queue-depth/in-flight/campaign gauges and per-kind solve and
+// rejection counters).
 //
 // Flags:
 //
@@ -39,6 +50,12 @@
 //	-timeout duration
 //	      per-request solve timeout; timed-out solves keep running and warm
 //	      the cache for the retry (default 2m0s)
+//	-campaign-ttl duration
+//	      expire campaigns idle for this long; negative never expires
+//	      (default 30m0s)
+//	-campaign-snapshot string
+//	      campaign snapshot file: restored at boot if present, written on
+//	      graceful shutdown ("" disables)
 package main
 
 import (
@@ -54,6 +71,7 @@ import (
 	"syscall"
 	"time"
 
+	"crowdpricing/internal/campaign"
 	"crowdpricing/internal/kinds"
 	"crowdpricing/internal/server"
 )
@@ -74,6 +92,8 @@ func main() {
 	concurrency := flag.Int("concurrency", 0, "engine solve worker pool; 0 means all CPUs")
 	queueDepth := flag.Int("queue", server.DefaultQueueDepth, "admission queue depth; overflow is shed with HTTP 429")
 	timeout := flag.Duration("timeout", server.DefaultRequestTimeout, "per-request solve timeout")
+	campaignTTL := flag.Duration("campaign-ttl", campaign.DefaultTTL, "expire campaigns idle for this long; negative never expires")
+	campaignSnap := flag.String("campaign-snapshot", "", `campaign snapshot file: restored at boot, written on graceful shutdown ("" disables)`)
 	flag.Parse()
 	if flag.NArg() > 0 {
 		log.Fatalf("unexpected arguments %q; priced takes flags only", flag.Args())
@@ -85,8 +105,62 @@ func main() {
 		RequestTimeout: *timeout,
 		Workers:        *concurrency,
 		QueueDepth:     *queueDepth,
+		CampaignTTL:    *campaignTTL,
 	})
 	defer srv.Close()
+	if *campaignSnap != "" {
+		restoreFailed := false
+		if f, err := os.Open(*campaignSnap); err == nil {
+			restoreCtx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+			err = srv.Campaigns().Restore(restoreCtx, f)
+			cancel()
+			f.Close()
+			if err != nil {
+				restoreFailed = true
+				log.Printf("campaign restore from %s failed (continuing with an empty table): %v", *campaignSnap, err)
+			} else {
+				log.Printf("restored %d campaign(s) from %s", srv.Campaigns().Metrics().Active, *campaignSnap)
+			}
+		} else if !errors.Is(err, os.ErrNotExist) {
+			// The file exists but could not be read: treat it like a failed
+			// restore so shutdown never replaces it with an empty table.
+			restoreFailed = true
+			log.Printf("campaign snapshot %s unreadable: %v", *campaignSnap, err)
+		}
+		defer func() {
+			// Never clobber the last good snapshot with a worse one: if the
+			// boot-time restore failed and nothing was created since, the
+			// file on disk is still the best state we have.
+			if restoreFailed && srv.Campaigns().Metrics().Active == 0 {
+				log.Printf("campaign snapshot: keeping %s untouched (restore failed and the table is empty)", *campaignSnap)
+				return
+			}
+			// Write-then-rename so a crash or full disk mid-write cannot
+			// truncate the previous snapshot.
+			tmp := *campaignSnap + ".tmp"
+			f, err := os.Create(tmp)
+			if err != nil {
+				log.Printf("campaign snapshot: %v", err)
+				return
+			}
+			if err := srv.Campaigns().Snapshot(f); err != nil {
+				f.Close()
+				os.Remove(tmp)
+				log.Printf("campaign snapshot: %v", err)
+				return
+			}
+			if err := f.Close(); err != nil {
+				os.Remove(tmp)
+				log.Printf("campaign snapshot: %v", err)
+				return
+			}
+			if err := os.Rename(tmp, *campaignSnap); err != nil {
+				log.Printf("campaign snapshot: %v", err)
+				return
+			}
+			log.Printf("campaign table written to %s", *campaignSnap)
+		}()
+	}
 	hs := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),

@@ -34,6 +34,21 @@
 // response types (DeadlineRequest, BudgetRequest, TradeoffRequest,
 // MultiRequest, BatchRequest, SolveResponse, …) are re-exported here.
 //
+// # Online campaigns
+//
+// Beyond one-shot solves, the daemon runs stateful campaigns — the paper's
+// intended online loop. POST /v1/campaigns registers a batch under a solved
+// policy (deadline, tradeoff, or multi), the server tracks the remaining
+// tasks and elapsed intervals as the requester reports observations, and
+// GET /v1/campaigns/{id}/price answers "what should I pay right now" in
+// O(1) from the policy table. Deadline campaigns optionally re-plan
+// adaptively (§5.2.5): a bank of policies pre-solved over a grid of
+// arrival-rate scale factors, switched by a trailing-window rate estimate
+// on every observation. Idle campaigns expire on a TTL, and the table
+// snapshots to JSON so daemon restarts resume quoting identical prices.
+// See PricingClient.CreateCampaign / ObserveCampaign / CampaignPrice /
+// FinishCampaign.
+//
 // # Building and testing
 //
 // The module is plain Go with no dependencies outside the standard library:
@@ -161,8 +176,34 @@ type LogisticParams = server.LogisticParams
 
 // PricingAPIError is a non-2xx reply from the pricing daemon; inspect
 // StatusCode (or IsBackpressure for 429 queue shedding) to pick a retry
-// strategy.
+// strategy, or let PricingClient.SolveWithRetry handle backpressure
+// automatically.
 type PricingAPIError = server.APIError
+
+// RetryOptions tunes PricingClient.SolveWithRetry's jittered,
+// Retry-After-honoring backoff; the zero value is production-ready.
+type RetryOptions = server.RetryOptions
+
+// CampaignAdaptiveOptions enables the paper's §5.2.5 adaptive re-planning
+// on a deadline campaign (pre-solved factor bank, trailing-window rate
+// estimate); zero fields pick the defaults.
+type CampaignAdaptiveOptions = server.CampaignAdaptiveOptions
+
+// CampaignState is a live campaign's wire-facing view, returned by
+// PricingClient.CreateCampaign, ObserveCampaign, and CampaignState.
+type CampaignState = server.CampaignState
+
+// CampaignQuote is one O(1) price lookup from a live campaign
+// (PricingClient.CampaignPrice).
+type CampaignQuote = server.CampaignQuote
+
+// CampaignSummary is the terminal accounting returned by
+// PricingClient.FinishCampaign.
+type CampaignSummary = server.CampaignSummary
+
+// CreateCampaignRequest is the wire body of POST /v1/campaigns: a problem
+// kind with a sequential price table plus its solve request verbatim.
+type CreateCampaignRequest = server.CreateCampaignRequest
 
 // NewPricingServer builds the pricing service; expose it with Handler or
 // mount it inside an existing mux.

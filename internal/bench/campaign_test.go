@@ -1,0 +1,159 @@
+package bench
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"crowdpricing/internal/server"
+)
+
+func campaignConfig() Config {
+	return Config{
+		Seed:          1,
+		Rate:          30,
+		Duration:      2 * time.Second,
+		Warmup:        500 * time.Millisecond,
+		Cardinality:   3,
+		Size:          SizeSmall,
+		Scenario:      ScenarioCampaign,
+		CampaignSteps: 4,
+	}
+}
+
+// TestCampaignScheduleDeterministic: campaign schedules — arrivals, specs,
+// and the per-session observation scripts — are pure functions of the
+// config.
+func TestCampaignScheduleDeterministic(t *testing.T) {
+	cfg := campaignConfig()
+	a, err := GenerateSchedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateSchedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Hash != b.Hash {
+		t.Fatalf("equal configs hashed %s vs %s", a.Hash, b.Hash)
+	}
+	if len(a.Requests) != len(b.Requests) {
+		t.Fatalf("request counts differ: %d vs %d", len(a.Requests), len(b.Requests))
+	}
+	for i := range a.Requests {
+		qa, qb := a.Requests[i], b.Requests[i]
+		if qa.Steps != cfg.CampaignSteps || len(qa.StepArrivals) != qa.Steps || len(qa.StepShares) != qa.Steps {
+			t.Fatalf("request %d script malformed: %+v", i, qa)
+		}
+		for s := range qa.StepArrivals {
+			if qa.StepArrivals[s] != qb.StepArrivals[s] || qa.StepShares[s] != qb.StepShares[s] {
+				t.Fatalf("request %d step %d scripts diverged", i, s)
+			}
+		}
+	}
+
+	// The scenario is part of the hash: the same seed on the solve
+	// scenario is a different workload.
+	solve := cfg
+	solve.Scenario = ScenarioSolve
+	solve.CampaignSteps = 0
+	s, err := GenerateSchedule(solve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Hash == a.Hash {
+		t.Fatal("solve and campaign schedules share a hash")
+	}
+}
+
+// TestCampaignMixValidation: kinds without a campaign runtime are rejected
+// up front, as are adaptive mixes beyond deadline.
+func TestCampaignMixValidation(t *testing.T) {
+	cfg := campaignConfig()
+	cfg.Mix = Mix{KindBudget: 1}
+	if _, err := GenerateSchedule(cfg); err == nil {
+		t.Error("budget campaign mix accepted")
+	}
+	cfg = campaignConfig()
+	cfg.Mix = Mix{KindTradeoff: 1}
+	cfg.CampaignAdaptive = true
+	if _, err := GenerateSchedule(cfg); err == nil {
+		t.Error("adaptive tradeoff campaign mix accepted")
+	}
+	cfg = campaignConfig()
+	cfg.Scenario = ScenarioSolve
+	cfg.CampaignSteps = 3
+	if _, err := GenerateSchedule(cfg); err == nil {
+		t.Error("campaign knobs accepted on the solve scenario")
+	}
+}
+
+// TestCampaignScenarioSmoke is the CI-smoke shape: a short fixed-seed
+// campaign run against a fresh in-process server must complete with zero
+// errors, register campaign activity on the server's metrics, and leave no
+// live campaigns behind (every session finishes what it creates).
+func TestCampaignScenarioSmoke(t *testing.T) {
+	sched, err := GenerateSchedule(campaignConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, srv := NewInProcessTarget(server.Options{})
+	res, err := Run(context.Background(), sched, RunOptions{Target: NewTargetFor(sched, target.Client)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Overall.Errors != 0 {
+		t.Fatalf("campaign run produced %d errors; samples: %v", res.Overall.Errors, res.ErrorSamples)
+	}
+	if res.Overall.Requests == 0 {
+		t.Fatal("no measured sessions")
+	}
+	// Cardinality 3 ⇒ after the first few sessions every create is a warm
+	// policy hit.
+	hitRatio := float64(res.Overall.CacheHits) / float64(res.Overall.Requests)
+	if hitRatio < 0.5 {
+		t.Errorf("create cache hit ratio %.2f below 0.5", hitRatio)
+	}
+
+	m := srv.Metrics()
+	sessions := res.Overall.Requests + res.Warmed
+	if m.CampaignQuotes != sessions*int64(sched.Config.CampaignSteps) {
+		t.Errorf("server counted %d campaign quotes, want %d sessions × %d steps",
+			m.CampaignQuotes, sessions, sched.Config.CampaignSteps)
+	}
+	if m.CampaignsActive != 0 {
+		t.Errorf("%d campaigns left live after the run; sessions must finish what they create", m.CampaignsActive)
+	}
+
+	rep := BuildReport(sched.Config, "in-process", res, time.Time{})
+	if rep.Latency.P50Millis <= 0 {
+		t.Errorf("implausible session latency %+v", rep.Latency)
+	}
+	if _, ok := rep.Endpoints[KindDeadline]; !ok {
+		t.Error("campaign sessions missing from the deadline endpoint bucket")
+	}
+}
+
+// TestCampaignAdaptiveScenarioSmoke runs the adaptive variant: sessions
+// must replan (the observation scripts drift by design) and still finish
+// clean.
+func TestCampaignAdaptiveScenarioSmoke(t *testing.T) {
+	cfg := campaignConfig()
+	cfg.Rate = 10
+	cfg.CampaignAdaptive = true
+	sched, err := GenerateSchedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, srv := NewInProcessTarget(server.Options{})
+	res, err := Run(context.Background(), sched, RunOptions{Target: NewTargetFor(sched, target.Client)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Overall.Errors != 0 {
+		t.Fatalf("adaptive campaign run produced %d errors; samples: %v", res.Overall.Errors, res.ErrorSamples)
+	}
+	if m := srv.Metrics(); m.CampaignReplans == 0 {
+		t.Error("drifting observation scripts produced zero replans")
+	}
+}

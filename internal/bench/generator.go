@@ -33,6 +33,7 @@ import (
 	"math"
 	"time"
 
+	"crowdpricing/internal/campaign"
 	"crowdpricing/internal/dist"
 	"crowdpricing/internal/engine"
 	"crowdpricing/internal/kinds"
@@ -69,6 +70,26 @@ const (
 	// estimates from mturk-tracker traffic (GaoP14 §5.2).
 	ShapeDiurnal Shape = "diurnal"
 )
+
+// Scenario selects the workload shape.
+type Scenario string
+
+// Workload scenarios.
+const (
+	// ScenarioSolve is the stateless open-loop mix: every scheduled
+	// request is one POST /v1/solve/{kind}. The default.
+	ScenarioSolve Scenario = "solve"
+	// ScenarioCampaign is the stateful lifecycle workload: every scheduled
+	// arrival starts a campaign session — create, then CampaignSteps
+	// observe+quote pairs, then finish — so one schedule entry drives
+	// 2·CampaignSteps+2 HTTP operations against the campaign API. Latency
+	// is measured per session (scheduled start to finish), per kind of the
+	// underlying problem.
+	ScenarioCampaign Scenario = "campaign"
+)
+
+// DefaultCampaignSteps is the observe/quote pairs per campaign session.
+const DefaultCampaignSteps = 8
 
 // Mix weights the problem kinds in the generated workload, keyed by
 // registry kind name. Weights are relative; they need not sum to 1. Kinds
@@ -123,6 +144,15 @@ type Config struct {
 	Size Size `json:"size"`
 	// Shape selects the arrival profile (default ShapeConstant).
 	Shape Shape `json:"shape"`
+	// Scenario selects stateless solves or stateful campaign sessions
+	// (default ScenarioSolve).
+	Scenario Scenario `json:"scenario"`
+	// CampaignSteps is the observe/quote pairs per campaign session
+	// (campaign scenario only; 0 = DefaultCampaignSteps).
+	CampaignSteps int `json:"campaign_steps,omitempty"`
+	// CampaignAdaptive runs every campaign session in §5.2.5 adaptive mode
+	// (deadline kinds only — the generator rejects mixes it cannot serve).
+	CampaignAdaptive bool `json:"campaign_adaptive,omitempty"`
 }
 
 func (c *Config) normalized() (Config, error) {
@@ -136,8 +166,29 @@ func (c *Config) normalized() (Config, error) {
 	if out.Warmup < 0 {
 		return out, fmt.Errorf("bench: negative warmup %v", out.Warmup)
 	}
+	switch out.Scenario {
+	case "":
+		out.Scenario = ScenarioSolve
+	case ScenarioSolve, ScenarioCampaign:
+	default:
+		return out, fmt.Errorf("bench: unknown scenario %q (want %q or %q)", out.Scenario, ScenarioSolve, ScenarioCampaign)
+	}
+	if out.Scenario == ScenarioCampaign {
+		if out.CampaignSteps <= 0 {
+			out.CampaignSteps = DefaultCampaignSteps
+		}
+	} else if out.CampaignSteps != 0 || out.CampaignAdaptive {
+		return out, fmt.Errorf("bench: campaign knobs set on the %q scenario", out.Scenario)
+	}
 	if len(out.Mix) == 0 {
-		out.Mix = DefaultMix.clone()
+		if out.Scenario == ScenarioCampaign {
+			// The default solve mix includes budget, which has no campaign
+			// runtime; campaigns default to the paper's headline deadline
+			// workload.
+			out.Mix = Mix{kinds.KindDeadline: 1}
+		} else {
+			out.Mix = DefaultMix.clone()
+		}
 	}
 	for kind, w := range out.Mix {
 		def, ok := registry().Lookup(kind)
@@ -149,6 +200,14 @@ func (c *Config) normalized() (Config, error) {
 		}
 		if w < 0 {
 			return out, fmt.Errorf("bench: negative mix weight %v for %q", w, kind)
+		}
+		if out.Scenario == ScenarioCampaign && w > 0 {
+			if !campaign.SupportsKind(kind) {
+				return out, fmt.Errorf("bench: kind %q has no campaign runtime (static allocation, no price table)", kind)
+			}
+			if out.CampaignAdaptive && kind != kinds.KindDeadline {
+				return out, fmt.Errorf("bench: adaptive campaigns require the deadline kind, mix names %q", kind)
+			}
 		}
 	}
 	if out.Mix.total() <= 0 {
@@ -206,6 +265,15 @@ type Request struct {
 	// Spec is the problem body, generated by the kind's registered sampler;
 	// it marshals to the HTTP request body.
 	Spec engine.Spec
+
+	// Campaign-scenario session script (empty on the solve scenario):
+	// Steps observe+quote pairs, with StepArrivals[s] the observed worker
+	// arrivals reported at step s and StepShares[s] the fraction of each
+	// type's remaining tasks completed that step. All drawn from the
+	// schedule seed, so a session replays identically run to run.
+	Steps        int
+	StepArrivals []float64
+	StepShares   []float64
 }
 
 // Schedule is a fully materialized open-loop request schedule.
@@ -262,9 +330,36 @@ func GenerateSchedule(cfg Config) (*Schedule, error) {
 		}
 		req.ProblemID = r.Intn(norm.Cardinality)
 		req.Spec = problems.spec(req.Kind, req.ProblemID)
+		if norm.Scenario == ScenarioCampaign {
+			req.Steps = norm.CampaignSteps
+			req.StepArrivals, req.StepShares = campaignSteps(r, req.Spec, norm.CampaignSteps)
+		}
 		reqs = append(reqs, req)
 	}
 	return &Schedule{Config: norm, Requests: reqs, Hash: hashSchedule(norm, reqs)}, nil
+}
+
+// campaignSteps draws one session's observation script. Deadline campaigns
+// observe Poisson arrivals around the problem's own λ_t scaled by a
+// per-session drift factor — the deviation regime §5.2.5's controller
+// exists for, so adaptive runs actually re-plan; other kinds observe a
+// generic nonnegative stream. Completion shares stay under one half so
+// sessions keep tasks outstanding across steps (quotes exercise interior
+// policy states, not just the drained corner).
+func campaignSteps(r *dist.RNG, spec engine.Spec, steps int) (arrivals []float64, shares []float64) {
+	arrivals = make([]float64, steps)
+	shares = make([]float64, steps)
+	lambdas := []float64{20}
+	if d, ok := spec.(*kinds.DeadlineRequest); ok {
+		lambdas = d.Lambdas
+	}
+	drift := r.Uniform(0.6, 1.4)
+	for s := 0; s < steps; s++ {
+		mean := drift * lambdas[s%len(lambdas)]
+		arrivals[s] = float64(dist.Poisson{Lambda: mean}.Sample(r))
+		shares[s] = r.Uniform(0, 0.4)
+	}
+	return arrivals, shares
 }
 
 // pickKind draws a kind proportional to its mix weight, iterating kinds in

@@ -21,7 +21,13 @@ import (
 // rejections moved out of the error totals into their own rejected /
 // rejected_rate bucket (overall and per endpoint) so gates don't flap
 // under intentional shedding.
-const SchemaVersion = 2
+//
+// v3: the config gained scenario / campaign_steps / campaign_adaptive for
+// the stateful campaign workload; on the campaign scenario a "request" is
+// one whole session (create → observe/quote steps → finish) and its
+// latency is the session wall time, so v2 latency baselines are not
+// comparable.
+const SchemaVersion = 3
 
 // LatencySummary is the percentile digest of one latency histogram, in
 // milliseconds. Successful requests only — errors are counted, not timed.
@@ -220,8 +226,16 @@ func ReadReport(path string) (*Report, error) {
 // Table renders the human-readable summary the CLI prints.
 func (r *Report) Table() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "target %s · seed %d · %s problems · mix %s · cardinality %d · shape %s\n",
-		r.Config.Target, r.Config.Seed, r.Config.Size,
+	scenario := string(r.Config.Scenario)
+	if r.Config.Scenario == ScenarioCampaign {
+		scenario = fmt.Sprintf("%s (%d steps", r.Config.Scenario, r.Config.CampaignSteps)
+		if r.Config.CampaignAdaptive {
+			scenario += ", adaptive"
+		}
+		scenario += ")"
+	}
+	fmt.Fprintf(&b, "target %s · scenario %s · seed %d · %s problems · mix %s · cardinality %d · shape %s\n",
+		r.Config.Target, scenario, r.Config.Seed, r.Config.Size,
 		formatMix(r.Config.Mix), r.Config.Cardinality, r.Config.Shape)
 	fmt.Fprintf(&b, "measured %.1fs · %d requests (%d warmup excluded) · %.1f req/s · errors %d (%.2f%%) · rejected %d (%.2f%%) · cache hit %.1f%%\n",
 		r.DurationSeconds, r.Requests, r.WarmupRequests, r.ThroughputRPS,

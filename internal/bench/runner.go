@@ -80,6 +80,66 @@ func (t *ClientTarget) Do(ctx context.Context, req *Request) (bool, error) {
 	return resp.CacheHit, nil
 }
 
+// CampaignSessionTarget executes campaign-scenario requests: each
+// scheduled arrival becomes one full lifecycle — create, Steps
+// observe+quote pairs replayed from the request's pre-drawn observation
+// script, then finish — through the same typed client production callers
+// use. The reported cache hit is the create's policy solve (the campaign
+// analogue of the solve scenario's hit-rate dial); latency is the whole
+// session, measured by the runner from the scheduled start.
+type CampaignSessionTarget struct {
+	Client *server.Client
+	// Adaptive runs every session in §5.2.5 adaptive mode (nil = static).
+	Adaptive *server.CampaignAdaptiveOptions
+}
+
+// Do implements Target.
+func (t *CampaignSessionTarget) Do(ctx context.Context, req *Request) (bool, error) {
+	if req.Spec == nil {
+		return false, fmt.Errorf("bench: request of kind %q has no spec", req.Kind)
+	}
+	st, err := t.Client.CreateCampaign(ctx, req.Kind, req.Spec, t.Adaptive)
+	if err != nil {
+		return false, err
+	}
+	hit := st.SolveCacheHit
+	remaining := append([]int(nil), st.Remaining...)
+	for s := 0; s < req.Steps; s++ {
+		completed := make([]int, len(remaining))
+		for i, n := range remaining {
+			completed[i] = int(float64(n) * req.StepShares[s])
+			remaining[i] -= completed[i]
+		}
+		if _, err := t.Client.ObserveCampaign(ctx, st.ID, req.StepArrivals[s], completed); err != nil {
+			return hit, fmt.Errorf("observe step %d: %w", s, err)
+		}
+		q, err := t.Client.CampaignPrice(ctx, st.ID)
+		if err != nil {
+			return hit, fmt.Errorf("quote step %d: %w", s, err)
+		}
+		if len(q.Prices) == 0 {
+			return hit, fmt.Errorf("quote step %d returned no prices", s)
+		}
+	}
+	if _, err := t.Client.FinishCampaign(ctx, st.ID); err != nil {
+		return hit, fmt.Errorf("finish: %w", err)
+	}
+	return hit, nil
+}
+
+// NewTargetFor picks the Target matching the schedule's scenario over the
+// given client: the plain solve target or the campaign session driver.
+func NewTargetFor(sched *Schedule, client *server.Client) Target {
+	if sched.Config.Scenario == ScenarioCampaign {
+		t := &CampaignSessionTarget{Client: client}
+		if sched.Config.CampaignAdaptive {
+			t.Adaptive = &server.CampaignAdaptiveOptions{}
+		}
+		return t
+	}
+	return &ClientTarget{Client: client}
+}
+
 // IsRejection reports whether err is the daemon's intentional backpressure
 // (HTTP 429, the admission queue was full) rather than a failure. The
 // runner accounts rejections separately so regression gates on the error

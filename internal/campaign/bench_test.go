@@ -1,0 +1,93 @@
+package campaign
+
+import (
+	"context"
+	"sort"
+	"testing"
+	"time"
+
+	"crowdpricing/internal/kinds"
+)
+
+// paperCampaign creates one paper-scale deadline campaign (N=200, 72
+// intervals — the Section 5 experimental scale) and returns its ID.
+func paperCampaign(tb testing.TB, m *Manager, adaptive *AdaptiveOptions) string {
+	tb.Helper()
+	st, err := m.Create(context.Background(), kinds.KindDeadline,
+		sampleRequest(tb, kinds.KindDeadline, 1, "paper"), adaptive)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return st.ID
+}
+
+// BenchmarkQuotePaperScale is the acceptance bar for the hot path: an O(1)
+// table lookup under the campaign mutex, target ≤ 50µs at paper scale
+// (within ~10× of the engine's warm cache hit). Measured on the dev
+// container: ~0.2µs/op.
+func BenchmarkQuotePaperScale(b *testing.B) {
+	m := newTestManager(b, Options{})
+	id := paperCampaign(b, m, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Quote(id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQuoteAdaptivePaperScale quotes from a mid-flight adaptive
+// campaign: the bank indirection must not change the hot path's complexity.
+func BenchmarkQuoteAdaptivePaperScale(b *testing.B) {
+	m := newTestManager(b, Options{})
+	id := paperCampaign(b, m, &AdaptiveOptions{})
+	for i := 0; i < 12; i++ {
+		if _, err := m.Observe(id, float64(100+20*i), []int{1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Quote(id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkObservePaperScale covers the other hot-path half: the O(window)
+// state update (window ≤ a few intervals, no solver work ever).
+func BenchmarkObservePaperScale(b *testing.B) {
+	m := newTestManager(b, Options{})
+	id := paperCampaign(b, m, &AdaptiveOptions{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Observe(id, 100, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestQuoteHotPathBound is the regression fence behind the benchmark: the
+// median of 1000 paper-scale quotes must stay far under a millisecond —
+// huge headroom over the observed ~0.2µs, so only a complexity-class
+// regression (an O(N·T) scan creeping into the lookup) can trip it, not CI
+// scheduler noise.
+func TestQuoteHotPathBound(t *testing.T) {
+	m := newTestManager(t, Options{})
+	id := paperCampaign(t, m, nil)
+	const samples = 1000
+	lat := make([]time.Duration, samples)
+	for i := range lat {
+		begin := time.Now()
+		if _, err := m.Quote(id); err != nil {
+			t.Fatal(err)
+		}
+		lat[i] = time.Since(begin)
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	median := lat[samples/2]
+	t.Logf("paper-scale quote latency: p50 %v, p99 %v", median, lat[samples*99/100])
+	if median > time.Millisecond {
+		t.Fatalf("median quote latency %v; the O(1) hot path has regressed", median)
+	}
+}

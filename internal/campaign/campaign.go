@@ -1,0 +1,311 @@
+// Package campaign is the online runtime of the pricing service: where
+// internal/core solves a policy and internal/sim replays one offline, a
+// campaign executes a solved policy against the real world, interval by
+// interval, the way GaoP14 intends the system to be used — a requester
+// posts a batch, observes worker arrivals, and quotes the price the DP
+// dictates for the *current* state.
+//
+// The design keeps the transactional hot path separate from analytical
+// re-planning (the HTAP split PAPERS.md's Polynesia argues for): Observe
+// and Quote are O(1) updates and table lookups under a per-campaign mutex,
+// while every expensive solve — the initial policy and the adaptive bank's
+// per-factor policies — runs through internal/engine's admission-controlled
+// scheduler before the campaign goes live, never inside the quote path.
+//
+// A Manager owns the campaign table: create/observe/quote/finish lifecycle,
+// TTL expiry of abandoned campaigns, Prometheus-style counters, and JSON
+// snapshot/restore so a daemon restart does not drop live campaigns (the
+// snapshot stores each campaign's original request plus its dynamic state;
+// restore re-solves through the engine — deterministic, so restored
+// campaigns quote bit-identical prices).
+//
+// Adaptive mode implements the Section 5.2.5 controller from
+// internal/sim/adaptive.go as an online service: the bank of per-factor
+// policies (base λ_t scaled by each factor) is pre-solved at creation, the
+// arrival-rate scale is re-estimated from a trailing window on every
+// Observe, and the campaign switches to the nearest factor's policy — a
+// quantized re-plan with zero solver work at decision time.
+package campaign
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// Campaign lifecycle errors, mapped to HTTP statuses by internal/server.
+var (
+	// ErrNotFound marks an unknown (or already finished / expired)
+	// campaign ID.
+	ErrNotFound = errors.New("campaign: not found")
+	// ErrUnsupportedKind marks a problem kind with no sequential price
+	// table (budget strategies are static up-front allocations).
+	ErrUnsupportedKind = errors.New("campaign: kind not supported")
+	// ErrAdaptiveUnsupported marks an adaptive request for a kind other
+	// than deadline — the §5.2.5 controller re-scales per-interval arrival
+	// rates, which only the deadline MDP has.
+	ErrAdaptiveUnsupported = errors.New("campaign: adaptive mode requires a deadline campaign")
+	// ErrTableFull marks the campaign table at capacity; finish or expire
+	// campaigns before creating more.
+	ErrTableFull = errors.New("campaign: table is full")
+	// ErrBadInput marks malformed observe inputs (negative counts,
+	// non-finite arrivals, wrong type arity) — the requester's fault.
+	ErrBadInput = errors.New("campaign: bad input")
+)
+
+// AdaptiveOptions enables §5.2.5 adaptive re-planning for a deadline
+// campaign. The zero value of each field picks the sim package's defaults.
+type AdaptiveOptions struct {
+	// Factors is the grid of arrival-rate scale factors to pre-solve,
+	// sorted ascending (default 0.5, 0.6, …, 1.5).
+	Factors []float64 `json:"factors,omitempty"`
+	// WindowIntervals is the trailing-window length of the scale estimate,
+	// in DP intervals (default 9 — three hours at 20-minute intervals).
+	WindowIntervals int `json:"window_intervals,omitempty"`
+}
+
+// defaultFactors mirrors sim.DefaultAdaptiveConfig — −50%…+50% deviations
+// in 10% steps — but derives each factor from integers so the grid contains
+// exactly 1.0 (an accumulated 0.5+k·0.1 loop lands on 0.9999…, which would
+// leak into fingerprints and wire states).
+func defaultFactors() []float64 {
+	fs := make([]float64, 0, 11)
+	for i := 5; i <= 15; i++ {
+		fs = append(fs, float64(i)/10)
+	}
+	return fs
+}
+
+// DefaultWindowIntervals is the default trailing-window length.
+const DefaultWindowIntervals = 9
+
+func (o *AdaptiveOptions) normalized() (AdaptiveOptions, error) {
+	out := AdaptiveOptions{Factors: o.Factors, WindowIntervals: o.WindowIntervals}
+	if len(out.Factors) == 0 {
+		out.Factors = defaultFactors()
+	}
+	if out.WindowIntervals == 0 {
+		out.WindowIntervals = DefaultWindowIntervals
+	}
+	if out.WindowIntervals < 1 {
+		return out, fmt.Errorf("campaign: adaptive window must cover at least one interval, got %d", out.WindowIntervals)
+	}
+	for i, f := range out.Factors {
+		if f <= 0 || math.IsNaN(f) || math.IsInf(f, 0) {
+			return out, fmt.Errorf("campaign: adaptive factor %v is not a positive finite number", f)
+		}
+		if i > 0 && out.Factors[i] <= out.Factors[i-1] {
+			return out, errors.New("campaign: adaptive factors must be sorted strictly ascending")
+		}
+	}
+	return out, nil
+}
+
+// campaign is one live campaign. The Manager's table maps IDs to campaigns;
+// all dynamic state is guarded by mu, so concurrent Observe/Quote on the
+// same campaign serialize while campaigns stay independent of each other.
+type campaign struct {
+	id   string
+	kind string
+	// request is the original wire body, kept verbatim for snapshots.
+	request []byte
+	// fingerprint identifies the base solved artifact.
+	fingerprint string
+
+	// static policy path: bank has exactly one quoter and factors is nil.
+	// adaptive path: bank[i] is the policy for factors[i], baseLambdas the
+	// unscaled per-interval expectations, window the estimate length.
+	bank        []Quoter
+	factors     []float64
+	window      int
+	baseLambdas []float64
+
+	mu        sync.Mutex
+	remaining []int
+	interval  int
+	// observed is the trailing window of per-interval arrivals (adaptive
+	// campaigns only, at most window entries — the estimator never reads
+	// further back, and an unbounded history would grow daemon memory and
+	// snapshots linearly with campaign age); observedTotal is the running
+	// sum across the whole campaign.
+	observed      []float64
+	observedTotal float64
+	activeIdx     int
+	factor        float64 // last scale estimate (1 until the first observe)
+	quotes        int64
+	replans       int64
+	created       time.Time
+	lastTouched   time.Time
+}
+
+// active returns the quoter the campaign currently follows. Callers hold mu.
+func (c *campaign) active() Quoter { return c.bank[c.activeIdx] }
+
+// adaptive reports whether the campaign re-plans from a factor bank.
+func (c *campaign) adaptive() bool { return len(c.factors) > 0 }
+
+// observeLocked advances the campaign one interval: subtract completions,
+// record the interval's observed arrivals, and (adaptive mode) re-estimate
+// the rate scale over the trailing window and switch to the nearest
+// factor's pre-solved policy. Callers hold mu.
+func (c *campaign) observeLocked(arrivals float64, completed []int) error {
+	if arrivals < 0 || math.IsNaN(arrivals) || math.IsInf(arrivals, 0) {
+		return fmt.Errorf("%w: invalid observed arrivals %v", ErrBadInput, arrivals)
+	}
+	if len(completed) != 0 && len(completed) != len(c.remaining) {
+		return fmt.Errorf("%w: %d completion counts for %d task types", ErrBadInput, len(completed), len(c.remaining))
+	}
+	// Validate the whole vector before mutating anything: a rejected
+	// observe must leave the campaign exactly as it was, or a client that
+	// fixes its request and retries would double-apply the valid entries.
+	for i, done := range completed {
+		if done < 0 {
+			return fmt.Errorf("%w: negative completion count %d for type %d", ErrBadInput, done, i)
+		}
+	}
+	for i, done := range completed {
+		c.remaining[i] -= done
+		if c.remaining[i] < 0 {
+			c.remaining[i] = 0
+		}
+	}
+	c.observedTotal += arrivals
+	c.interval++
+	if c.adaptive() {
+		c.observed = append(c.observed, arrivals)
+		if len(c.observed) > c.window {
+			c.observed = c.observed[len(c.observed)-c.window:]
+		}
+		c.replanLocked()
+	}
+	return nil
+}
+
+// replanLocked recomputes the scale estimate exactly as
+// sim.RunAdaptiveDeadline does — observed over expected arrivals across the
+// trailing window — and follows the nearest factor's policy. Intervals past
+// the policy horizon have no trained expectation, so they contribute to
+// neither sum; once the whole window is past the horizon the estimate
+// freezes (the sim controller never runs past the horizon at all). Callers
+// hold mu.
+func (c *campaign) replanLocked() {
+	var obs, expct float64
+	for i, a := range c.observed {
+		// The window's entries cover intervals [interval−len, interval).
+		k := c.interval - len(c.observed) + i
+		if k < 0 || k >= len(c.baseLambdas) {
+			continue
+		}
+		obs += a
+		expct += c.baseLambdas[k]
+	}
+	if expct <= 0 {
+		return // no expectation to compare against; keep the current policy
+	}
+	c.factor = obs / expct
+	if best := nearestIndex(c.factors, c.factor); best != c.activeIdx {
+		c.activeIdx = best
+		c.replans++
+	}
+}
+
+// quoteLocked is the hot path: one table lookup in the active policy.
+// Callers hold mu.
+func (c *campaign) quoteLocked() []int {
+	c.quotes++
+	return c.active().Quote(c.remaining, c.interval)
+}
+
+// done reports whether every task type is complete. Callers hold mu.
+func (c *campaign) doneLocked() bool {
+	for _, n := range c.remaining {
+		if n > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// stateLocked renders the wire-facing state. Callers hold mu.
+func (c *campaign) stateLocked() *State {
+	st := &State{
+		ID:          c.id,
+		Kind:        c.kind,
+		Fingerprint: c.fingerprint,
+		Interval:    c.interval,
+		Horizon:     c.active().Horizon(),
+		Remaining:   append([]int(nil), c.remaining...),
+		Done:        c.doneLocked(),
+		Adaptive:    c.adaptive(),
+		Quotes:      c.quotes,
+		Replans:     c.replans,
+	}
+	if c.adaptive() {
+		st.Factor = c.factor
+		st.ActiveFactor = c.factors[c.activeIdx]
+	}
+	return st
+}
+
+// State is a campaign's wire-facing view, returned by create, observe, and
+// state reads.
+type State struct {
+	ID          string `json:"id"`
+	Kind        string `json:"kind"`
+	Fingerprint string `json:"fingerprint"`
+	// SolveCacheHit reports whether the initial policy came from the
+	// engine's warm cache (create responses only).
+	SolveCacheHit bool `json:"solve_cache_hit,omitempty"`
+	// Interval is the number of intervals observed so far — the t the next
+	// quote prices at.
+	Interval int `json:"interval"`
+	// Horizon is the policy's interval count (0 = stationary, no horizon).
+	Horizon int `json:"horizon"`
+	// Remaining is the outstanding task count per type (length 1 except
+	// for multi campaigns).
+	Remaining []int `json:"remaining"`
+	// Done reports whether every task is complete.
+	Done bool `json:"done"`
+	// Adaptive reports whether the campaign re-plans from a factor bank;
+	// Factor is the latest trailing-window scale estimate and ActiveFactor
+	// the bank factor currently followed.
+	Adaptive     bool    `json:"adaptive"`
+	Factor       float64 `json:"factor,omitempty"`
+	ActiveFactor float64 `json:"active_factor,omitempty"`
+	Quotes       int64   `json:"quotes"`
+	Replans      int64   `json:"replans"`
+}
+
+// Quote is one priced lookup: the price vector the solved policy dictates
+// for the campaign's current state.
+type Quote struct {
+	ID string `json:"id"`
+	// Price is the single price for one-type campaigns — Prices[0], kept
+	// first-class because it is the common case.
+	Price int `json:"price"`
+	// Prices is the full per-type price vector.
+	Prices []int `json:"prices"`
+	// Interval and Remaining echo the state the quote priced.
+	Interval  int   `json:"interval"`
+	Remaining []int `json:"remaining"`
+	// Done reports whether every task is already complete (the quote is
+	// then the policy's idle price — MinPrice for deadline campaigns).
+	Done bool `json:"done"`
+	// ActiveFactor is the bank factor behind this quote (adaptive only).
+	ActiveFactor float64 `json:"active_factor,omitempty"`
+}
+
+// Summary is the terminal accounting returned by Finish.
+type Summary struct {
+	ID        string `json:"id"`
+	Kind      string `json:"kind"`
+	Intervals int    `json:"intervals"`
+	Remaining []int  `json:"remaining"`
+	Done      bool   `json:"done"`
+	Quotes    int64  `json:"quotes"`
+	Replans   int64  `json:"replans"`
+	// ObservedArrivals is the sum of observed arrivals across intervals.
+	ObservedArrivals float64 `json:"observed_arrivals"`
+}

@@ -1,0 +1,440 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"crowdpricing/internal/engine"
+	"crowdpricing/internal/kinds"
+)
+
+// Solver is the slice of internal/engine the manager needs: one
+// admission-controlled, cached, deduplicated solve. *engine.Engine
+// implements it.
+type Solver interface {
+	Solve(ctx context.Context, spec engine.Spec) (*engine.Result, error)
+}
+
+// Defaults for Options zero values.
+const (
+	// DefaultTTL is how long an untouched campaign survives before the
+	// sweeper expires it.
+	DefaultTTL = 30 * time.Minute
+	// DefaultMaxCampaigns bounds the live-campaign table so one tenant
+	// cannot grow daemon memory without bound.
+	DefaultMaxCampaigns = 65_536
+)
+
+// Options configures a Manager. The zero value is production-ready.
+type Options struct {
+	// TTL expires campaigns idle (no observe/quote/state touch) for longer
+	// than this (0 = DefaultTTL; negative = never expire).
+	TTL time.Duration
+	// MaxCampaigns bounds the table (0 = DefaultMaxCampaigns).
+	MaxCampaigns int
+	// SweepInterval is how often the background sweeper scans for expired
+	// campaigns (0 = TTL/4 clamped to [1s, 1m]). Ignored when TTL < 0.
+	SweepInterval time.Duration
+
+	// now overrides the clock in tests.
+	now func() time.Time
+}
+
+// Manager owns the live-campaign table: create/observe/quote/finish
+// lifecycle against the engine, TTL expiry, counters, and snapshot/restore.
+// Create with NewManager; a Manager is safe for arbitrary concurrent use.
+// Close stops the expiry sweeper (live campaigns remain usable).
+type Manager struct {
+	solver   Solver
+	registry *engine.Registry
+	opts     Options
+
+	mu        sync.RWMutex
+	campaigns map[string]*campaign
+	seq       atomic.Int64
+
+	quit     chan struct{}
+	stopOnce sync.Once
+
+	created atomic.Int64
+	quotes  atomic.Int64
+	replans atomic.Int64
+	expired atomic.Int64
+}
+
+// NewManager builds a Manager solving through solver (typically the
+// server's engine) and resolving kinds through reg (nil = kinds.Default()).
+func NewManager(solver Solver, reg *engine.Registry, opts Options) *Manager {
+	if reg == nil {
+		reg = kinds.Default()
+	}
+	if opts.TTL == 0 {
+		opts.TTL = DefaultTTL
+	}
+	if opts.MaxCampaigns <= 0 {
+		opts.MaxCampaigns = DefaultMaxCampaigns
+	}
+	if opts.SweepInterval <= 0 {
+		opts.SweepInterval = opts.TTL / 4
+		if opts.SweepInterval < time.Second {
+			opts.SweepInterval = time.Second
+		}
+		if opts.SweepInterval > time.Minute {
+			opts.SweepInterval = time.Minute
+		}
+	}
+	if opts.now == nil {
+		opts.now = time.Now
+	}
+	m := &Manager{
+		solver:    solver,
+		registry:  reg,
+		opts:      opts,
+		campaigns: make(map[string]*campaign),
+		quit:      make(chan struct{}),
+	}
+	if opts.TTL > 0 {
+		go m.sweeper()
+	}
+	return m
+}
+
+// Close stops the background sweeper. Campaigns stay readable; no further
+// TTL expiry happens.
+func (m *Manager) Close() { m.stopOnce.Do(func() { close(m.quit) }) }
+
+func (m *Manager) sweeper() {
+	ticker := time.NewTicker(m.opts.SweepInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-m.quit:
+			return
+		case <-ticker.C:
+			m.ExpireIdle()
+		}
+	}
+}
+
+// ExpireIdle removes campaigns idle past the TTL and returns how many were
+// expired. The background sweeper calls this periodically; it is exported
+// for tests and embedders that want deterministic sweeps.
+func (m *Manager) ExpireIdle() int {
+	if m.opts.TTL < 0 {
+		return 0
+	}
+	cutoff := m.opts.now().Add(-m.opts.TTL)
+	m.mu.Lock()
+	var dead []string
+	for id, c := range m.campaigns {
+		c.mu.Lock()
+		idle := c.lastTouched.Before(cutoff)
+		c.mu.Unlock()
+		if idle {
+			dead = append(dead, id)
+		}
+	}
+	for _, id := range dead {
+		delete(m.campaigns, id)
+	}
+	m.mu.Unlock()
+	m.expired.Add(int64(len(dead)))
+	return len(dead)
+}
+
+// decodeSpec resolves kind through the registry and strictly decodes
+// request into a fresh validated Spec.
+func (m *Manager) decodeSpec(kind string, request json.RawMessage) (engine.Spec, error) {
+	def, ok := m.registry.Lookup(kind)
+	if !ok {
+		return nil, fmt.Errorf("%w: unknown kind %q", ErrUnsupportedKind, kind)
+	}
+	spec := def.New()
+	dec := json.NewDecoder(bytes.NewReader(request))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(spec); err != nil {
+		return nil, &engine.InvalidSpecError{Err: fmt.Errorf("bad %s request: %w", kind, err)}
+	}
+	return spec, nil
+}
+
+// solveQuoter runs one spec through the engine and decodes the artifact
+// into its quoter.
+func (m *Manager) solveQuoter(ctx context.Context, kind string, spec engine.Spec) (Quoter, *engine.Result, error) {
+	res, err := m.solver.Solve(ctx, spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	q, err := newQuoter(kind, res.Value)
+	if err != nil {
+		return nil, nil, err
+	}
+	return q, res, nil
+}
+
+// Create registers a new campaign: solve the policy for (kind, request)
+// through the engine — warm-cache cheap when an identical problem was
+// solved before — and, in adaptive mode, pre-solve the whole factor bank.
+// The returned State carries the campaign ID every other call takes.
+func (m *Manager) Create(ctx context.Context, kind string, request json.RawMessage, adaptive *AdaptiveOptions) (*State, error) {
+	// Shed a full table before any solver work: a 429 must mean "the
+	// daemon did no work, retry later" (the contract SolveWithRetry leans
+	// on), not "the daemon ran a dozen solves and then refused". The check
+	// repeats authoritatively under the lock at insert time.
+	m.mu.RLock()
+	full := len(m.campaigns) >= m.opts.MaxCampaigns
+	m.mu.RUnlock()
+	if full {
+		return nil, fmt.Errorf("%w (%d live campaigns)", ErrTableFull, m.opts.MaxCampaigns)
+	}
+	spec, err := m.decodeSpec(kind, request)
+	if err != nil {
+		return nil, err
+	}
+	quoter, res, err := m.solveQuoter(ctx, kind, spec)
+	if err != nil {
+		return nil, err
+	}
+
+	c := &campaign{
+		kind:        kind,
+		request:     append([]byte(nil), request...),
+		fingerprint: res.Fingerprint,
+		bank:        []Quoter{quoter},
+		remaining:   quoter.InitialCounts(),
+		factor:      1,
+	}
+	if adaptive != nil {
+		if err := m.buildBank(ctx, c, spec, adaptive); err != nil {
+			return nil, err
+		}
+	}
+
+	now := m.opts.now()
+	c.created, c.lastTouched = now, now
+	seq := m.seq.Add(1)
+	c.id = campaignID(seq, res.Fingerprint)
+
+	m.mu.Lock()
+	if len(m.campaigns) >= m.opts.MaxCampaigns {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("%w (%d live campaigns)", ErrTableFull, m.opts.MaxCampaigns)
+	}
+	m.campaigns[c.id] = c
+	m.mu.Unlock()
+	m.created.Add(1)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.stateLocked()
+	st.SolveCacheHit = res.CacheHit
+	return st, nil
+}
+
+// buildBank pre-solves the adaptive factor grid: the base deadline problem
+// with λ_t scaled by each factor, every solve going through the engine so
+// identical banks across campaigns (or across a snapshot restore) cost one
+// solve per factor, not one per campaign. The factors are submitted
+// concurrently — the engine's worker pool, queue, and singleflight table
+// are the admission control, so a bank costs roughly one solve's wall
+// time on a multi-core daemon instead of the sum of the grid.
+func (m *Manager) buildBank(ctx context.Context, c *campaign, spec engine.Spec, adaptive *AdaptiveOptions) error {
+	base, ok := spec.(*kinds.DeadlineRequest)
+	if !ok {
+		return fmt.Errorf("%w, got %q", ErrAdaptiveUnsupported, c.kind)
+	}
+	norm, err := adaptive.normalized()
+	if err != nil {
+		return &engine.InvalidSpecError{Err: err}
+	}
+	bank := make([]Quoter, len(norm.Factors))
+	errs := make([]error, len(norm.Factors))
+	var wg sync.WaitGroup
+	for i, f := range norm.Factors {
+		wg.Add(1)
+		go func(i int, f float64) {
+			defer wg.Done()
+			scaled := *base
+			scaled.Lambdas = make([]float64, len(base.Lambdas))
+			for t, l := range base.Lambdas {
+				scaled.Lambdas[t] = l * f
+			}
+			q, _, err := m.solveQuoter(ctx, c.kind, &scaled)
+			if err != nil {
+				errs[i] = fmt.Errorf("solving adaptive bank factor %g: %w", f, err)
+				return
+			}
+			bank[i] = q
+		}(i, f)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	c.bank = bank
+	c.factors = norm.Factors
+	c.window = norm.WindowIntervals
+	c.baseLambdas = append([]float64(nil), base.Lambdas...)
+	// Start on the factor nearest 1.0 — the trained profile — exactly as
+	// the sim controller does before its first window closes.
+	c.activeIdx = nearestIndex(norm.Factors, 1)
+	return nil
+}
+
+// nearestIndex returns the index of the factor closest to x — the single
+// quantization rule shared by the initial bank selection and every
+// re-plan.
+func nearestIndex(fs []float64, x float64) int {
+	best, bestD := 0, math.Abs(fs[0]-x)
+	for i, f := range fs {
+		if d := math.Abs(f - x); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+// campaignID derives a readable, collision-free ID: a process-local
+// sequence number plus a fingerprint excerpt for log greppability.
+func campaignID(seq int64, fingerprint string) string {
+	fp := fingerprint
+	if i := strings.LastIndexByte(fp, ':'); i >= 0 {
+		fp = fp[i+1:]
+	}
+	if len(fp) > 8 {
+		fp = fp[:8]
+	}
+	return fmt.Sprintf("c%06d-%s", seq, fp)
+}
+
+// get looks up a live campaign. Callers that touch state (Observe, Quote,
+// State) refresh lastTouched themselves under the campaign's lock; get
+// does not.
+func (m *Manager) get(id string) (*campaign, error) {
+	m.mu.RLock()
+	c, ok := m.campaigns[id]
+	m.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	return c, nil
+}
+
+// Observe records one elapsed interval: the observed marketplace arrivals
+// and the tasks completed (per type; nil means none). Adaptive campaigns
+// re-estimate the rate scale and may switch policies — visible in the
+// returned State's ActiveFactor and Replans.
+func (m *Manager) Observe(id string, arrivals float64, completed []int) (*State, error) {
+	c, err := m.get(id)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	before := c.replans
+	if err := c.observeLocked(arrivals, completed); err != nil {
+		return nil, err
+	}
+	c.lastTouched = m.opts.now()
+	m.replans.Add(c.replans - before)
+	return c.stateLocked(), nil
+}
+
+// Quote serves the policy's price for the campaign's current state — the
+// hot path: one mutex acquisition and one table lookup, no allocation
+// beyond the response.
+func (m *Manager) Quote(id string) (*Quote, error) {
+	c, err := m.get(id)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	prices := c.quoteLocked()
+	c.lastTouched = m.opts.now()
+	m.quotes.Add(1)
+	q := &Quote{
+		ID:        c.id,
+		Price:     prices[0],
+		Prices:    prices,
+		Interval:  c.interval,
+		Remaining: append([]int(nil), c.remaining...),
+		Done:      c.doneLocked(),
+	}
+	if c.adaptive() {
+		q.ActiveFactor = c.factors[c.activeIdx]
+	}
+	return q, nil
+}
+
+// State returns the campaign's current state without advancing anything.
+func (m *Manager) State(id string) (*State, error) {
+	c, err := m.get(id)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.lastTouched = m.opts.now()
+	return c.stateLocked(), nil
+}
+
+// Finish removes the campaign and returns its terminal accounting.
+func (m *Manager) Finish(id string) (*Summary, error) {
+	m.mu.Lock()
+	c, ok := m.campaigns[id]
+	if ok {
+		delete(m.campaigns, id)
+	}
+	m.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return &Summary{
+		ID:               c.id,
+		Kind:             c.kind,
+		Intervals:        c.interval,
+		Remaining:        append([]int(nil), c.remaining...),
+		Done:             c.doneLocked(),
+		Quotes:           c.quotes,
+		Replans:          c.replans,
+		ObservedArrivals: c.observedTotal,
+	}, nil
+}
+
+// Metrics is a point-in-time read of the manager's observability surface.
+type Metrics struct {
+	// Active is the number of live campaigns.
+	Active int64
+	// Created, Quotes, Replans, and Expired are lifetime counters
+	// (finished campaigns keep contributing to the totals).
+	Created int64
+	Quotes  int64
+	Replans int64
+	Expired int64
+}
+
+// Metrics returns the current counter and gauge values.
+func (m *Manager) Metrics() Metrics {
+	m.mu.RLock()
+	active := int64(len(m.campaigns))
+	m.mu.RUnlock()
+	return Metrics{
+		Active:  active,
+		Created: m.created.Load(),
+		Quotes:  m.quotes.Load(),
+		Replans: m.replans.Load(),
+		Expired: m.expired.Load(),
+	}
+}

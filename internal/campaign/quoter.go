@@ -1,0 +1,163 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"crowdpricing/internal/core"
+	"crowdpricing/internal/kinds"
+)
+
+// Quoter is the hot-path view of a solved policy: an O(1) table lookup from
+// campaign state (remaining task counts, elapsed interval) to the price(s)
+// the policy dictates right now. Quoters are immutable once built — the
+// campaign hot path reads them without synchronization beyond the campaign's
+// own mutex.
+type Quoter interface {
+	// Types is the number of task types the policy prices (1 for every kind
+	// except multi).
+	Types() int
+	// Horizon is the number of DP intervals, or 0 for a stationary policy
+	// with no finite horizon (tradeoff).
+	Horizon() int
+	// InitialCounts is the remaining-task vector a fresh campaign starts at.
+	InitialCounts() []int
+	// Quote returns the policy's price vector (one price per type) for the
+	// given remaining counts at interval t. Out-of-range states clamp, as in
+	// core's PriceAt accessors, so a campaign past its horizon or below zero
+	// remaining still quotes deterministically.
+	Quote(remaining []int, t int) []int
+}
+
+// SupportsKind reports whether kind has a campaign runtime — a sequential
+// per-state price table to quote from. Budget strategies are static
+// up-front allocations, so they (and unknown kinds) report false. The
+// bench harness uses this to validate campaign-scenario mixes.
+func SupportsKind(kind string) bool {
+	switch kind {
+	case kinds.KindDeadline, kinds.KindTradeoff, kinds.KindMulti:
+		return true
+	}
+	return false
+}
+
+// newQuoter decodes the engine's solved artifact for kind into its Quoter.
+// Budget is rejected: a budget strategy is a static up-front allocation with
+// no per-state price table, so "the current price" is undefined for it.
+func newQuoter(kind string, artifact []byte) (Quoter, error) {
+	switch kind {
+	case kinds.KindDeadline:
+		var pol core.DeadlinePolicy
+		if err := json.Unmarshal(artifact, &pol); err != nil {
+			return nil, fmt.Errorf("campaign: bad deadline artifact: %w", err)
+		}
+		return &deadlineQuoter{pol: &pol}, nil
+	case kinds.KindTradeoff:
+		var sched kinds.TradeoffSchedule
+		if err := json.Unmarshal(artifact, &sched); err != nil {
+			return nil, fmt.Errorf("campaign: bad tradeoff artifact: %w", err)
+		}
+		if len(sched.Price) == 0 {
+			return nil, fmt.Errorf("campaign: tradeoff artifact has an empty price table")
+		}
+		return &tradeoffQuoter{sched: &sched}, nil
+	case kinds.KindMulti:
+		var sched kinds.MultiSchedule
+		if err := json.Unmarshal(artifact, &sched); err != nil {
+			return nil, fmt.Errorf("campaign: bad multi artifact: %w", err)
+		}
+		return newMultiQuoter(&sched)
+	default:
+		return nil, fmt.Errorf("campaign: %w: kind %q has no sequential price table", ErrUnsupportedKind, kind)
+	}
+}
+
+// deadlineQuoter serves the Section 3 finite-horizon policy table.
+type deadlineQuoter struct {
+	pol *core.DeadlinePolicy
+}
+
+func (q *deadlineQuoter) Types() int           { return 1 }
+func (q *deadlineQuoter) Horizon() int         { return q.pol.Problem.Intervals }
+func (q *deadlineQuoter) InitialCounts() []int { return []int{q.pol.Problem.N} }
+func (q *deadlineQuoter) Quote(remaining []int, t int) []int {
+	return []int{q.pol.PriceAt(remaining[0], t)}
+}
+
+// tradeoffQuoter serves the Section 6 stationary policy: the price depends
+// only on the remaining count, never on time.
+type tradeoffQuoter struct {
+	sched *kinds.TradeoffSchedule
+}
+
+func (q *tradeoffQuoter) Types() int           { return 1 }
+func (q *tradeoffQuoter) Horizon() int         { return 0 }
+func (q *tradeoffQuoter) InitialCounts() []int { return []int{len(q.sched.Price) - 1} }
+func (q *tradeoffQuoter) Quote(remaining []int, t int) []int {
+	n := remaining[0]
+	if n < 0 {
+		n = 0
+	}
+	if n >= len(q.sched.Price) {
+		n = len(q.sched.Price) - 1
+	}
+	return []int{q.sched.Price[n]}
+}
+
+// multiQuoter serves the general-k joint policy: states are count vectors,
+// flattened row-major with the last type's count varying fastest (the
+// MultiSchedule wire layout).
+type multiQuoter struct {
+	sched   *kinds.MultiSchedule
+	strides []int
+}
+
+func newMultiQuoter(sched *kinds.MultiSchedule) (*multiQuoter, error) {
+	if len(sched.Counts) == 0 || sched.Intervals <= 0 || len(sched.Prices) != sched.Intervals {
+		return nil, fmt.Errorf("campaign: malformed multi artifact (%d types, %d/%d interval rows)",
+			len(sched.Counts), len(sched.Prices), sched.Intervals)
+	}
+	states := 1
+	strides := make([]int, len(sched.Counts))
+	for i := len(sched.Counts) - 1; i >= 0; i-- {
+		strides[i] = states
+		states *= sched.Counts[i] + 1
+	}
+	for t, row := range sched.Prices {
+		if len(row) != states {
+			return nil, fmt.Errorf("campaign: multi artifact row %d has %d states, want %d", t, len(row), states)
+		}
+	}
+	return &multiQuoter{sched: sched, strides: strides}, nil
+}
+
+func (q *multiQuoter) Types() int   { return len(q.sched.Counts) }
+func (q *multiQuoter) Horizon() int { return q.sched.Intervals }
+func (q *multiQuoter) InitialCounts() []int {
+	out := make([]int, len(q.sched.Counts))
+	copy(out, q.sched.Counts)
+	return out
+}
+
+func (q *multiQuoter) Quote(remaining []int, t int) []int {
+	if t < 0 {
+		t = 0
+	}
+	if t >= q.sched.Intervals {
+		t = q.sched.Intervals - 1
+	}
+	idx := 0
+	for i, n := range remaining {
+		if n < 0 {
+			n = 0
+		}
+		if n > q.sched.Counts[i] {
+			n = q.sched.Counts[i]
+		}
+		idx += n * q.strides[i]
+	}
+	src := q.sched.Prices[t][idx]
+	out := make([]int, len(src))
+	copy(out, src)
+	return out
+}

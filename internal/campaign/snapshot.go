@@ -1,0 +1,222 @@
+package campaign
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// SnapshotSchemaVersion identifies the snapshot layout; Restore refuses
+// mismatched files rather than guessing at field semantics.
+const SnapshotSchemaVersion = 1
+
+// snapshotFile is the on-disk form of the whole campaign table.
+type snapshotFile struct {
+	SchemaVersion int                `json:"schema_version"`
+	TakenAt       string             `json:"taken_at,omitempty"`
+	NextSeq       int64              `json:"next_seq"`
+	Campaigns     []campaignSnapshot `json:"campaigns"`
+}
+
+// campaignSnapshot stores one campaign as (original request, dynamic
+// state). Policies are deliberately NOT stored: restore re-solves the
+// request through the engine, which is deterministic — the restored
+// campaign quotes bit-identical prices — and keeps snapshots small (a
+// paper-scale policy table is ~250 KB; its request is ~1 KB).
+type campaignSnapshot struct {
+	ID       string           `json:"id"`
+	Kind     string           `json:"kind"`
+	Request  json.RawMessage  `json:"request"`
+	Adaptive *AdaptiveOptions `json:"adaptive,omitempty"`
+
+	Remaining []int `json:"remaining"`
+	Interval  int   `json:"interval"`
+	// Observed is the trailing window of per-interval arrivals (adaptive
+	// campaigns only, at most the adaptive window length — all the
+	// estimator ever reads); ObservedTotal is the running sum across the
+	// whole campaign.
+	Observed        []float64 `json:"observed,omitempty"`
+	ObservedTotal   float64   `json:"observed_arrivals_total"`
+	ActiveIdx       int       `json:"active_factor_index"`
+	Factor          float64   `json:"factor"`
+	Quotes          int64     `json:"quotes"`
+	Replans         int64     `json:"replans"`
+	CreatedUnixNano int64     `json:"created_unix_nano"`
+	TouchedUnixNano int64     `json:"last_touched_unix_nano"`
+}
+
+// Snapshot writes the live-campaign table as JSON: each campaign's original
+// request plus its dynamic state. Safe to call while campaigns are being
+// observed and quoted — each campaign is serialized under its own lock.
+func (m *Manager) Snapshot(w io.Writer) error {
+	m.mu.RLock()
+	live := make([]*campaign, 0, len(m.campaigns))
+	for _, c := range m.campaigns {
+		live = append(live, c)
+	}
+	seq := m.seq.Load()
+	m.mu.RUnlock()
+
+	file := snapshotFile{
+		SchemaVersion: SnapshotSchemaVersion,
+		TakenAt:       m.opts.now().UTC().Format(time.RFC3339),
+		NextSeq:       seq,
+		Campaigns:     make([]campaignSnapshot, 0, len(live)),
+	}
+	for _, c := range live {
+		c.mu.Lock()
+		cs := campaignSnapshot{
+			ID:              c.id,
+			Kind:            c.kind,
+			Request:         append(json.RawMessage(nil), c.request...),
+			Remaining:       append([]int(nil), c.remaining...),
+			Interval:        c.interval,
+			Observed:        append([]float64(nil), c.observed...),
+			ObservedTotal:   c.observedTotal,
+			ActiveIdx:       c.activeIdx,
+			Factor:          c.factor,
+			Quotes:          c.quotes,
+			Replans:         c.replans,
+			CreatedUnixNano: c.created.UnixNano(),
+			TouchedUnixNano: c.lastTouched.UnixNano(),
+		}
+		if c.adaptive() {
+			cs.Adaptive = &AdaptiveOptions{
+				Factors:         append([]float64(nil), c.factors...),
+				WindowIntervals: c.window,
+			}
+		}
+		c.mu.Unlock()
+		file.Campaigns = append(file.Campaigns, cs)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(file)
+}
+
+// Restore rebuilds campaigns from a Snapshot: every policy (and adaptive
+// bank) is re-solved through the engine — identical requests dedup onto one
+// solve and the engine cache makes repeats cheap — then the dynamic state
+// is replayed on top. Restore is all-or-nothing: any unsolvable or
+// malformed entry aborts with no campaigns inserted, so a daemon never
+// boots with half a table. Campaign IDs are preserved; the ID sequence
+// resumes past the snapshot's so new campaigns never collide.
+func (m *Manager) Restore(ctx context.Context, r io.Reader) error {
+	var file snapshotFile
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&file); err != nil {
+		return fmt.Errorf("campaign: bad snapshot: %w", err)
+	}
+	if file.SchemaVersion != SnapshotSchemaVersion {
+		return fmt.Errorf("campaign: snapshot schema version %d, this binary expects %d",
+			file.SchemaVersion, SnapshotSchemaVersion)
+	}
+
+	now := m.opts.now()
+	restored := make([]*campaign, 0, len(file.Campaigns))
+	seen := make(map[string]bool, len(file.Campaigns))
+	for _, cs := range file.Campaigns {
+		if seen[cs.ID] {
+			return fmt.Errorf("campaign: snapshot contains ID %q twice", cs.ID)
+		}
+		seen[cs.ID] = true
+		c, err := m.rebuild(ctx, cs, now)
+		if err != nil {
+			return fmt.Errorf("campaign: restoring %q: %w", cs.ID, err)
+		}
+		restored = append(restored, c)
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.campaigns)+len(restored) > m.opts.MaxCampaigns {
+		return fmt.Errorf("%w: %d restored + %d live exceeds the %d-campaign limit",
+			ErrTableFull, len(restored), len(m.campaigns), m.opts.MaxCampaigns)
+	}
+	for _, c := range restored {
+		if _, dup := m.campaigns[c.id]; dup {
+			return fmt.Errorf("campaign: snapshot ID %q collides with a live campaign", c.id)
+		}
+	}
+	for _, c := range restored {
+		m.campaigns[c.id] = c
+	}
+	// Resume the ID sequence past the snapshot's high-water mark so new
+	// campaigns never reuse a restored ID.
+	for cur := m.seq.Load(); cur < file.NextSeq; cur = m.seq.Load() {
+		if m.seq.CompareAndSwap(cur, file.NextSeq) {
+			break
+		}
+	}
+	m.created.Add(int64(len(restored)))
+	return nil
+}
+
+// rebuild re-solves one snapshot entry and replays its dynamic state.
+func (m *Manager) rebuild(ctx context.Context, cs campaignSnapshot, now time.Time) (*campaign, error) {
+	if cs.ID == "" {
+		return nil, fmt.Errorf("missing id")
+	}
+	spec, err := m.decodeSpec(cs.Kind, cs.Request)
+	if err != nil {
+		return nil, err
+	}
+	quoter, res, err := m.solveQuoter(ctx, cs.Kind, spec)
+	if err != nil {
+		return nil, err
+	}
+	c := &campaign{
+		id:          cs.ID,
+		kind:        cs.Kind,
+		request:     append([]byte(nil), cs.Request...),
+		fingerprint: res.Fingerprint,
+		bank:        []Quoter{quoter},
+		remaining:   quoter.InitialCounts(),
+		factor:      1,
+	}
+	if cs.Adaptive != nil {
+		if err := m.buildBank(ctx, c, spec, cs.Adaptive); err != nil {
+			return nil, err
+		}
+	}
+
+	// Replay the dynamic state, validating shape against the fresh policy
+	// rather than trusting the file.
+	if len(cs.Remaining) != len(c.remaining) {
+		return nil, fmt.Errorf("%d remaining counts for %d task types", len(cs.Remaining), len(c.remaining))
+	}
+	for i, n := range cs.Remaining {
+		if n < 0 || n > c.remaining[i] {
+			return nil, fmt.Errorf("remaining[%d]=%d outside [0, %d]", i, n, c.remaining[i])
+		}
+	}
+	if cs.Interval < 0 || len(cs.Observed) > cs.Interval {
+		return nil, fmt.Errorf("%d observed-window entries recorded for interval %d", len(cs.Observed), cs.Interval)
+	}
+	if cs.ObservedTotal < 0 || cs.ObservedTotal != cs.ObservedTotal {
+		return nil, fmt.Errorf("invalid observed arrivals total %v", cs.ObservedTotal)
+	}
+	c.remaining = append([]int(nil), cs.Remaining...)
+	c.interval = cs.Interval
+	c.observed = append([]float64(nil), cs.Observed...)
+	c.observedTotal = cs.ObservedTotal
+	c.factor = cs.Factor
+	if c.adaptive() {
+		if cs.ActiveIdx < 0 || cs.ActiveIdx >= len(c.bank) {
+			return nil, fmt.Errorf("active factor index %d outside the %d-policy bank", cs.ActiveIdx, len(c.bank))
+		}
+		if len(cs.Observed) > c.window {
+			return nil, fmt.Errorf("observed window has %d entries, adaptive window is %d", len(cs.Observed), c.window)
+		}
+		c.activeIdx = cs.ActiveIdx
+	}
+	c.quotes = cs.Quotes
+	c.replans = cs.Replans
+	c.created = time.Unix(0, cs.CreatedUnixNano)
+	// The restored campaign is touched now: surviving a restart should not
+	// count as idleness against the TTL.
+	c.lastTouched = now
+	return c, nil
+}

@@ -1,0 +1,403 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// newHTTPTestServer serves an arbitrary handler for client-side tests.
+func newHTTPTestServer(t *testing.T, h http.Handler) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// campaignDeadlineRequest is a small, fast-solving deadline problem for
+// campaign lifecycle tests.
+func campaignDeadlineRequest() DeadlineRequest {
+	return DeadlineRequest{
+		N:            10,
+		HorizonHours: 4,
+		Intervals:    8,
+		Lambdas:      []float64{12, 12, 12, 12, 12, 12, 12, 12},
+		Accept:       testAccept,
+		MinPrice:     1,
+		MaxPrice:     25,
+		Penalty:      100,
+		TruncEps:     1e-9,
+	}
+}
+
+// TestCampaignLifecycleHTTP is the acceptance-criteria walk: create →
+// observe → quote → finish over real HTTP, every quoted price checked
+// against the solved policy table, fully deterministic.
+func TestCampaignLifecycleHTTP(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	client := NewClient(ts.URL)
+	ctx := context.Background()
+	req := campaignDeadlineRequest()
+
+	// Ground truth: the same problem solved through the stateless endpoint.
+	solved, err := client.SolveDeadline(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := solved.DecodePolicy()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := client.CreateCampaign(ctx, KindDeadline, req, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.SolveCacheHit {
+		t.Error("campaign create re-solved a problem the cache already held")
+	}
+	if st.Remaining[0] != req.N || st.Interval != 0 || st.Horizon != req.Intervals {
+		t.Fatalf("fresh campaign state %+v", st)
+	}
+
+	n := req.N
+	for tt := 0; tt < req.Intervals; tt++ {
+		q, err := client.CampaignPrice(ctx, st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := pol.PriceAt(n, tt); q.Price != want {
+			t.Fatalf("interval %d, %d remaining: quoted %d over HTTP, policy table says %d", tt, n, q.Price, want)
+		}
+		done := 0
+		if n > 0 {
+			done = 1
+		}
+		after, err := client.ObserveCampaign(ctx, st.ID, 12, []int{done})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n -= done
+		if after.Interval != tt+1 || after.Remaining[0] != n {
+			t.Fatalf("state after observe %d: %+v, want interval %d remaining %d", tt, after, tt+1, n)
+		}
+	}
+
+	sum, err := client.FinishCampaign(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Intervals != req.Intervals || sum.Quotes != int64(req.Intervals) {
+		t.Fatalf("summary %+v", sum)
+	}
+	if _, err := client.CampaignPrice(ctx, st.ID); apiStatus(err) != http.StatusNotFound {
+		t.Fatalf("price after finish: %v, want 404", err)
+	}
+}
+
+// apiStatus extracts the HTTP status from an APIError (0 otherwise).
+func apiStatus(err error) int {
+	if apiErr, ok := err.(*APIError); ok {
+		return apiErr.StatusCode
+	}
+	return 0
+}
+
+// TestCampaignSnapshotRestartHTTP proves the restart story end-to-end:
+// campaigns created and advanced over HTTP on daemon A, snapshot, restore
+// into a brand-new daemon B, and B quotes byte-identical prices.
+func TestCampaignSnapshotRestartHTTP(t *testing.T) {
+	srvA, tsA := newTestServer(t, Options{})
+	clientA := NewClient(tsA.URL)
+	ctx := context.Background()
+
+	st, err := clientA.CreateCampaign(ctx, KindDeadline, campaignDeadlineRequest(),
+		&CampaignAdaptiveOptions{WindowIntervals: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := clientA.ObserveCampaign(ctx, st.ID, float64(20+5*i), []int{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var snap bytes.Buffer
+	if err := srvA.Campaigns().Snapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+
+	srvB, tsB := newTestServer(t, Options{})
+	if err := srvB.Campaigns().Restore(ctx, bytes.NewReader(snap.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	clientB := NewClient(tsB.URL)
+
+	qa, err := clientA.CampaignPrice(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qb, err := clientB.CampaignPrice(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qa.Price != qb.Price || qa.Interval != qb.Interval || qa.ActiveFactor != qb.ActiveFactor {
+		t.Fatalf("restored daemon quotes %+v, original %+v", qb, qa)
+	}
+}
+
+// TestCampaignHTTPErrors pins the error → status map.
+func TestCampaignHTTPErrors(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	client := NewClient(ts.URL)
+	ctx := context.Background()
+
+	if _, err := client.CampaignPrice(ctx, "no-such-campaign"); apiStatus(err) != http.StatusNotFound {
+		t.Errorf("unknown id: %v, want 404", err)
+	}
+	if _, err := client.FinishCampaign(ctx, "no-such-campaign"); apiStatus(err) != http.StatusNotFound {
+		t.Errorf("finish unknown id: %v, want 404", err)
+	}
+	if _, err := client.CreateCampaign(ctx, KindBudget, testBudgetRequest(), nil); apiStatus(err) != http.StatusBadRequest {
+		t.Errorf("budget campaign: %v, want 400", err)
+	}
+	if _, err := client.CreateCampaign(ctx, KindTradeoff, testTradeoffRequest(), &CampaignAdaptiveOptions{}); apiStatus(err) != http.StatusBadRequest {
+		t.Errorf("adaptive tradeoff campaign: %v, want 400", err)
+	}
+	if _, err := client.CreateCampaign(ctx, KindDeadline, map[string]any{"n": -5}, nil); apiStatus(err) != http.StatusBadRequest {
+		t.Errorf("invalid problem: %v, want 400", err)
+	}
+
+	st, err := client.CreateCampaign(ctx, KindDeadline, campaignDeadlineRequest(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.ObserveCampaign(ctx, st.ID, -3, nil); apiStatus(err) != http.StatusBadRequest {
+		t.Errorf("negative arrivals: %v, want 400", err)
+	}
+	if _, err := client.ObserveCampaign(ctx, st.ID, 5, []int{1, 2}); apiStatus(err) != http.StatusBadRequest {
+		t.Errorf("wrong completion arity: %v, want 400", err)
+	}
+
+	// Wrong method on a campaign route: the mux's method patterns answer
+	// 405 with Allow set.
+	res, err := http.Post(ts.URL+"/v1/campaigns/"+st.ID+"/price", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST on price route: %d, want 405", res.StatusCode)
+	}
+}
+
+// TestFlexCounts pins the wire flexibility of "completed".
+func TestFlexCounts(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want []int
+		ok   bool
+	}{
+		{`{"arrivals": 1, "completed": 3}`, []int{3}, true},
+		{`{"arrivals": 1, "completed": [1, 2]}`, []int{1, 2}, true},
+		{`{"arrivals": 1, "completed": null}`, nil, true},
+		{`{"arrivals": 1}`, nil, true},
+		{`{"arrivals": 1, "completed": "three"}`, nil, false},
+	} {
+		var req CampaignObserveRequest
+		err := json.Unmarshal([]byte(tc.in), &req)
+		if tc.ok != (err == nil) {
+			t.Errorf("%s: err=%v, want ok=%v", tc.in, err, tc.ok)
+			continue
+		}
+		if !tc.ok {
+			continue
+		}
+		if len(req.Completed) != len(tc.want) {
+			t.Errorf("%s: decoded %v, want %v", tc.in, req.Completed, tc.want)
+			continue
+		}
+		for i := range tc.want {
+			if req.Completed[i] != tc.want[i] {
+				t.Errorf("%s: decoded %v, want %v", tc.in, req.Completed, tc.want)
+			}
+		}
+	}
+}
+
+// TestCampaignMetrics checks the campaign gauges/counters surface on
+// /metrics and through the snapshot.
+func TestCampaignMetrics(t *testing.T) {
+	s, ts := newTestServer(t, Options{})
+	client := NewClient(ts.URL)
+	ctx := context.Background()
+
+	st, err := client.CreateCampaign(ctx, KindDeadline, campaignDeadlineRequest(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := client.CampaignPrice(ctx, st.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	m := s.Metrics()
+	if m.CampaignsActive != 1 || m.CampaignQuotes != 3 {
+		t.Fatalf("snapshot %+v, want 1 active campaign and 3 quotes", m)
+	}
+
+	res, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	var body bytes.Buffer
+	if _, err := body.ReadFrom(res.Body); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"crowdpricing_campaigns_active 1",
+		"crowdpricing_campaign_quotes_total 3",
+		"crowdpricing_campaign_replans_total 0",
+		"crowdpricing_campaigns_expired_total 0",
+	} {
+		if !strings.Contains(body.String(), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// flakyHandler sheds the first `shed` solve requests with 429 +
+// Retry-After, then delegates to a real server — the shape of a daemon
+// recovering from a queue-full burst.
+func flakyHandler(t *testing.T, shed int, inner http.Handler) http.Handler {
+	t.Helper()
+	var attempts int
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts++
+		if attempts <= shed {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprintf(w, `{"error": "engine: solve queue is full, retry later"}`)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	})
+}
+
+// TestSolveWithRetry: the client rides out transient 429 shedding and
+// returns the solve the daemon eventually accepts.
+func TestSolveWithRetry(t *testing.T) {
+	s := New(Options{})
+	t.Cleanup(s.Close)
+	ts := newHTTPTestServer(t, flakyHandler(t, 2, s.Handler()))
+	client := NewClient(ts.URL)
+
+	opts := RetryOptions{
+		MaxAttempts: 4,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    5 * time.Millisecond,
+		Jitter:      func() float64 { return 0.5 },
+	}
+	resp, err := client.SolveWithRetry(context.Background(), KindBudget, testBudgetRequest(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Kind != KindBudget || len(resp.Result) == 0 {
+		t.Fatalf("retried solve returned %+v", resp)
+	}
+}
+
+// TestSolveWithRetryExhausted: persistent backpressure surfaces the final
+// 429 after MaxAttempts tries.
+func TestSolveWithRetryExhausted(t *testing.T) {
+	s := New(Options{})
+	t.Cleanup(s.Close)
+	ts := newHTTPTestServer(t, flakyHandler(t, 1000, s.Handler()))
+	client := NewClient(ts.URL)
+
+	opts := RetryOptions{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond}
+	_, err := client.SolveWithRetry(context.Background(), KindBudget, testBudgetRequest(), opts)
+	if !RetryOn429(err) {
+		t.Fatalf("exhausted retries returned %v, want the 429 APIError", err)
+	}
+	if apiErr := err.(*APIError); apiErr.RetryAfter != 0 {
+		// Retry-After: 0 parses as a zero hint — the header was honored as
+		// a floor of zero, not dropped.
+		t.Fatalf("RetryAfter = %v, want 0 from the 0-second header", apiErr.RetryAfter)
+	}
+}
+
+// TestSolveWithRetryNonRetryable: a 400 returns immediately, no retries.
+func TestSolveWithRetryNonRetryable(t *testing.T) {
+	var attempts int
+	ts := newHTTPTestServer(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts++
+		w.WriteHeader(http.StatusBadRequest)
+		fmt.Fprintf(w, `{"error": "bad request"}`)
+	}))
+	client := NewClient(ts.URL)
+	_, err := client.SolveWithRetry(context.Background(), KindBudget, testBudgetRequest(),
+		RetryOptions{MaxAttempts: 5, BaseDelay: time.Millisecond})
+	if apiStatus(err) != http.StatusBadRequest {
+		t.Fatalf("err=%v, want 400", err)
+	}
+	if attempts != 1 {
+		t.Fatalf("client retried a 400 %d times", attempts)
+	}
+}
+
+// TestSolveWithRetryCtxBounded: a context that expires during the backoff
+// wait aborts promptly with ctx.Err().
+func TestSolveWithRetryCtxBounded(t *testing.T) {
+	ts := newHTTPTestServer(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "30")
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	client := NewClient(ts.URL)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	begin := time.Now()
+	_, err := client.SolveWithRetry(ctx, KindBudget, testBudgetRequest(),
+		RetryOptions{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: time.Minute})
+	if err != context.DeadlineExceeded {
+		t.Fatalf("err=%v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(begin); elapsed > 5*time.Second {
+		t.Fatalf("retry waited %v past its context", elapsed)
+	}
+}
+
+// TestRetryBackoff pins the wait computation: doubling with proportional
+// jitter, floored by Retry-After, capped by MaxDelay.
+func TestRetryBackoff(t *testing.T) {
+	o := RetryOptions{
+		BaseDelay: 100 * time.Millisecond,
+		MaxDelay:  2 * time.Second,
+		Jitter:    func() float64 { return 0.5 }, // multiplier exactly 1.0
+	}.normalized()
+	for _, tc := range []struct {
+		attempt    int
+		retryAfter time.Duration
+		want       time.Duration
+	}{
+		{0, 0, 100 * time.Millisecond},
+		{1, 0, 200 * time.Millisecond},
+		{2, 0, 400 * time.Millisecond},
+		{0, time.Second, time.Second},     // Retry-After floors the wait
+		{30, 0, 2 * time.Second},          // shift overflow hits the cap
+		{0, time.Minute, 2 * time.Second}, // a hostile hint is capped
+		{4, 500 * time.Millisecond, 1600 * time.Millisecond},
+	} {
+		if got := o.backoff(tc.attempt, tc.retryAfter); got != tc.want {
+			t.Errorf("backoff(%d, %v) = %v, want %v", tc.attempt, tc.retryAfter, got, tc.want)
+		}
+	}
+}

@@ -7,6 +7,9 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
+	"strconv"
+	"time"
 )
 
 // Client is a typed HTTP client for the pricing service. The zero value is
@@ -36,6 +39,10 @@ type APIError struct {
 	Status string
 	// Message is the daemon's error body, when it sent one.
 	Message string
+	// RetryAfter is the daemon's Retry-After hint (zero when the header was
+	// absent or unparseable). On backpressure replies it is how long the
+	// daemon suggests waiting before retrying; SolveWithRetry honors it.
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
@@ -58,15 +65,27 @@ func (c *Client) httpClient() *http.Client {
 }
 
 func (c *Client) postJSON(ctx context.Context, path string, in, out any) error {
-	body, err := json.Marshal(in)
+	return c.do(ctx, http.MethodPost, path, in, out)
+}
+
+// do executes one JSON round trip: method on path with in as the body (nil
+// sends no body) and the 200 response decoded into out.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
 	if err != nil {
 		return err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(body))
-	if err != nil {
-		return err
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
 	}
-	req.Header.Set("Content-Type", "application/json")
 	res, err := c.httpClient().Do(req)
 	if err != nil {
 		return err
@@ -74,6 +93,9 @@ func (c *Client) postJSON(ctx context.Context, path string, in, out any) error {
 	defer res.Body.Close()
 	if res.StatusCode != http.StatusOK {
 		apiErr := &APIError{StatusCode: res.StatusCode, Status: res.Status}
+		if secs, err := strconv.Atoi(res.Header.Get("Retry-After")); err == nil && secs >= 0 {
+			apiErr.RetryAfter = time.Duration(secs) * time.Second
+		}
 		var e errorResponse
 		if json.NewDecoder(io.LimitReader(res.Body, 1<<16)).Decode(&e) == nil && e.Error != "" {
 			apiErr.Message = e.Error
@@ -113,6 +135,66 @@ func (c *Client) SolveBudget(ctx context.Context, req BudgetRequest) (*SolveResp
 // with SolveResponse.DecodeTradeoff.
 func (c *Client) SolveTradeoff(ctx context.Context, req TradeoffRequest) (*SolveResponse, error) {
 	return c.Solve(ctx, KindTradeoff, req)
+}
+
+// CreateCampaign registers a stateful campaign: spec is the kind's solve
+// request (a DeadlineRequest value, or any JSON-marshalable body of the
+// right shape), adaptive optionally enables §5.2.5 re-planning (deadline
+// only). The returned state carries the campaign ID the other campaign
+// calls take.
+func (c *Client) CreateCampaign(ctx context.Context, kind string, spec any, adaptive *CampaignAdaptiveOptions) (*CampaignState, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return nil, err
+	}
+	var out CampaignState
+	if err := c.do(ctx, http.MethodPost, "/v1/campaigns", CreateCampaignRequest{
+		Kind:     kind,
+		Request:  body,
+		Adaptive: adaptive,
+	}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// ObserveCampaign records one elapsed interval: observed worker arrivals
+// and tasks completed (one entry per task type; nil means none).
+func (c *Client) ObserveCampaign(ctx context.Context, id string, arrivals float64, completed []int) (*CampaignState, error) {
+	var out CampaignState
+	req := CampaignObserveRequest{Arrivals: arrivals, Completed: completed}
+	if err := c.do(ctx, http.MethodPost, "/v1/campaigns/"+url.PathEscape(id)+"/observe", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// CampaignPrice quotes the price the campaign's policy dictates for its
+// current state — the O(1) hot path.
+func (c *Client) CampaignPrice(ctx context.Context, id string) (*CampaignQuote, error) {
+	var out CampaignQuote
+	if err := c.do(ctx, http.MethodGet, "/v1/campaigns/"+url.PathEscape(id)+"/price", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// CampaignState reads a campaign's current state.
+func (c *Client) CampaignState(ctx context.Context, id string) (*CampaignState, error) {
+	var out CampaignState
+	if err := c.do(ctx, http.MethodGet, "/v1/campaigns/"+url.PathEscape(id), nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// FinishCampaign removes the campaign and returns its terminal accounting.
+func (c *Client) FinishCampaign(ctx context.Context, id string) (*CampaignSummary, error) {
+	var out CampaignSummary
+	if err := c.do(ctx, http.MethodDelete, "/v1/campaigns/"+url.PathEscape(id), nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
 }
 
 // SolveBatch submits many problems in one round trip.

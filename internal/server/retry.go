@@ -1,0 +1,102 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"math/rand/v2"
+	"time"
+)
+
+// RetryOn429 reports whether err is the daemon's intentional backpressure
+// (HTTP 429: the solve admission queue or the campaign table was full) —
+// the one error class where an automatic retry is always correct, because
+// the daemon did no work and explicitly asked the client to come back.
+func RetryOn429(err error) bool {
+	var apiErr *APIError
+	return errors.As(err, &apiErr) && apiErr.IsBackpressure()
+}
+
+// RetryOptions tunes SolveWithRetry. The zero value is production-ready.
+type RetryOptions struct {
+	// MaxAttempts is the total number of Solve attempts, the first
+	// included (0 = 4).
+	MaxAttempts int
+	// BaseDelay is the first backoff wait; subsequent waits double
+	// (0 = 100ms).
+	BaseDelay time.Duration
+	// MaxDelay caps a single wait, after the Retry-After floor is applied
+	// (0 = 5s).
+	MaxDelay time.Duration
+	// Jitter returns a uniform draw in [0, 1); nil uses math/rand. Tests
+	// inject a deterministic source here.
+	Jitter func() float64
+}
+
+func (o RetryOptions) normalized() RetryOptions {
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 4
+	}
+	if o.BaseDelay <= 0 {
+		o.BaseDelay = 100 * time.Millisecond
+	}
+	if o.MaxDelay <= 0 {
+		o.MaxDelay = 5 * time.Second
+	}
+	if o.Jitter == nil {
+		o.Jitter = rand.Float64
+	}
+	return o
+}
+
+// backoff computes the wait before attempt (0-based counting of completed
+// attempts): exponential doubling from BaseDelay with proportional jitter
+// in [0.5, 1.5), floored at the daemon's Retry-After hint — the server
+// knows its queue better than any client heuristic — and capped at
+// MaxDelay so a pathological hint cannot park the client.
+func (o RetryOptions) backoff(attempt int, retryAfter time.Duration) time.Duration {
+	d := o.BaseDelay << attempt
+	if d <= 0 || d > o.MaxDelay { // overflow or past the cap
+		d = o.MaxDelay
+	}
+	d = time.Duration(float64(d) * (0.5 + o.Jitter()))
+	if d < retryAfter {
+		d = retryAfter
+	}
+	if d > o.MaxDelay {
+		d = o.MaxDelay
+	}
+	return d
+}
+
+// SolveWithRetry is Solve plus backpressure handling: when the daemon sheds
+// the request with 429, it waits — honoring the Retry-After header, with
+// jittered exponential backoff so a thundering herd of shed clients does
+// not return in lockstep — and retries, up to opts.MaxAttempts attempts,
+// every wait bounded by ctx. Any error other than backpressure returns
+// immediately: 400s won't get better and 5xx/timeouts have their own
+// semantics (the solve may still be warming the cache).
+func (c *Client) SolveWithRetry(ctx context.Context, kind string, req any, opts RetryOptions) (*SolveResponse, error) {
+	o := opts.normalized()
+	timer := time.NewTimer(0)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
+	for attempt := 0; ; attempt++ {
+		resp, err := c.Solve(ctx, kind, req)
+		if err == nil || !RetryOn429(err) || attempt+1 >= o.MaxAttempts {
+			return resp, err
+		}
+		var apiErr *APIError
+		errors.As(err, &apiErr)
+		timer.Reset(o.backoff(attempt, apiErr.RetryAfter))
+		select {
+		case <-ctx.Done():
+			if !timer.Stop() {
+				<-timer.C
+			}
+			return nil, ctx.Err()
+		case <-timer.C:
+		}
+	}
+}

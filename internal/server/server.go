@@ -42,6 +42,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"crowdpricing/internal/campaign"
 	"crowdpricing/internal/engine"
 	"crowdpricing/internal/hdr"
 	"crowdpricing/internal/kinds"
@@ -88,17 +89,21 @@ type Options struct {
 	// Registry maps kind names to problem specifications (nil =
 	// kinds.Default(), the built-in deadline/budget/tradeoff/multi set).
 	Registry *engine.Registry
+	// CampaignTTL expires campaigns idle for longer than this
+	// (0 = campaign.DefaultTTL, 30 minutes; negative = never expire).
+	CampaignTTL time.Duration
 }
 
 // Server is the pricing service. Create with New, expose with Handler; a
 // single Server is safe for arbitrary concurrent use. Close releases the
 // engine's worker pool.
 type Server struct {
-	opts     Options
-	registry *engine.Registry
-	engine   *engine.Engine
-	mux      *http.ServeMux
-	start    time.Time
+	opts      Options
+	registry  *engine.Registry
+	engine    *engine.Engine
+	campaigns *campaign.Manager
+	mux       *http.ServeMux
+	start     time.Time
 
 	// latency holds one request-duration histogram per route, recorded
 	// around the full handler (decode + cache + solve + encode) and
@@ -133,6 +138,7 @@ func New(opts Options) *Server {
 		start:   time.Now(),
 		latency: make(map[string]*hdr.Histogram),
 	}
+	s.campaigns = campaign.NewManager(s.engine, reg, campaign.Options{TTL: opts.CampaignTTL})
 	// One generic handler per registered kind: the route set is the
 	// registry, so adding a problem kind adds its endpoint with no code
 	// here. Kind names that would collide with the server's own routes are
@@ -146,14 +152,25 @@ func New(opts Options) *Server {
 		s.route("/v1/solve/"+kind, s.post(s.handleKind(def)))
 	}
 	s.route("/v1/solve/batch", s.post(s.handleBatch))
+	// The stateful campaign API: method-scoped patterns, the modern mux
+	// idiom — the wildcard {id} binds through r.PathValue.
+	s.route("POST /v1/campaigns", s.counted(s.handleCampaignCreate))
+	s.route("POST /v1/campaigns/{id}/observe", s.counted(s.handleCampaignObserve))
+	s.route("GET /v1/campaigns/{id}/price", s.counted(s.handleCampaignPrice))
+	s.route("GET /v1/campaigns/{id}", s.counted(s.handleCampaignState))
+	s.route("DELETE /v1/campaigns/{id}", s.counted(s.handleCampaignFinish))
 	s.route("/healthz", s.handleHealthz)
 	s.route("/metrics", s.handleMetrics)
 	return s
 }
 
-// Close stops the engine's worker pool; in-flight solves finish, queued
-// ones fail fast. The HTTP surface keeps answering (warm hits still work).
-func (s *Server) Close() { s.engine.Close() }
+// Close stops the engine's worker pool and the campaign expiry sweeper;
+// in-flight solves finish, queued ones fail fast. The HTTP surface keeps
+// answering (warm hits and live campaigns still work).
+func (s *Server) Close() {
+	s.campaigns.Close()
+	s.engine.Close()
+}
 
 // route registers h at path wrapped with per-endpoint latency recording.
 func (s *Server) route(path string, h http.HandlerFunc) {
@@ -187,12 +204,24 @@ type MetricsSnapshot struct {
 	// queue-overflow rejections per problem kind.
 	SolvesByKind   map[string]int64
 	RejectedByKind map[string]int64
+	// CampaignsActive is the live-campaign gauge; CampaignQuotes,
+	// CampaignReplans, and CampaignsExpired are the campaign runtime's
+	// lifetime counters.
+	CampaignsActive  int64
+	CampaignQuotes   int64
+	CampaignReplans  int64
+	CampaignsExpired int64
 }
 
 // Metrics returns the current counter values.
 func (s *Server) Metrics() MetricsSnapshot {
 	em := s.engine.Metrics()
+	cm := s.campaigns.Metrics()
 	return MetricsSnapshot{
+		CampaignsActive:    cm.Active,
+		CampaignQuotes:     cm.Quotes,
+		CampaignReplans:    cm.Replans,
+		CampaignsExpired:   cm.Expired,
 		Requests:           s.requests.Load(),
 		CacheHits:          em.CacheHits,
 		CacheMisses:        em.CacheMisses,
@@ -443,6 +472,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"crowdpricing_cache_entries", "gauge", "Policies currently cached.", m.CacheEntries},
 		{"crowdpricing_queue_depth", "gauge", "Cold solves admitted and waiting for a worker.", m.QueueDepth},
 		{"crowdpricing_inflight_solves", "gauge", "Solves currently occupying an engine worker.", m.InFlightSolves},
+		{"crowdpricing_campaigns_active", "gauge", "Live campaigns in the table.", m.CampaignsActive},
+		{"crowdpricing_campaign_quotes_total", "counter", "Prices quoted from live campaigns.", m.CampaignQuotes},
+		{"crowdpricing_campaign_replans_total", "counter", "Adaptive policy switches across all campaigns.", m.CampaignReplans},
+		{"crowdpricing_campaigns_expired_total", "counter", "Campaigns expired by the idle TTL sweeper.", m.CampaignsExpired},
 	} {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n",
 			row.name, row.help, row.name, row.typ, row.name, row.value)
