@@ -1,0 +1,34 @@
+package analysistest_test
+
+import (
+	"go/ast"
+	"strings"
+	"testing"
+
+	"crowdpricing/internal/analysis"
+	"crowdpricing/internal/analysis/analysistest"
+)
+
+// badNames flags functions whose name starts with "bad" — twice, to
+// exercise multiple want patterns on one line.
+var badNames = &analysis.Analyzer{
+	Name: "badnames",
+	Doc:  "test analyzer",
+	Run: func(pass *analysis.Pass) error {
+		for _, file := range pass.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || !strings.HasPrefix(fd.Name.Name, "bad") {
+					continue
+				}
+				pass.Reportf(fd.Pos(), "function %s is bad", fd.Name.Name)
+				pass.Reportf(fd.Pos(), "names may not start with bad")
+			}
+		}
+		return nil
+	},
+}
+
+func TestHarness(t *testing.T) {
+	analysistest.Run(t, "testdata/tiny", badNames)
+}

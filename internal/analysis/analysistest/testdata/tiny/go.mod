@@ -1,0 +1,3 @@
+module example.com/tiny
+
+go 1.24

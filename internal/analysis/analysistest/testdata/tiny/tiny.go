@@ -1,0 +1,7 @@
+// Package tiny is the harness's own fixture, checked by a throwaway
+// analyzer that flags functions whose name starts with "bad".
+package tiny
+
+func badThing() {} // want `function badThing is bad` "names may not start with bad"
+
+func goodThing() {}

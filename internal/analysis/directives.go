@@ -1,0 +1,146 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// DirectivePrefix opens every crowdlint source directive.
+const DirectivePrefix = "//crowdlint:"
+
+// A Directive is one parsed //crowdlint: comment. Malformed directives
+// carry the problem in Problem and suppress nothing — the directive
+// analyzer reports them.
+type Directive struct {
+	Pos token.Pos
+	// Analyzers are the analyzer names the directive suppresses.
+	Analyzers []string
+	// Reason is the mandatory justification after the "--" separator.
+	Reason string
+	// Raw is the comment text as written.
+	Raw string
+	// Problem describes why the directive is malformed ("" = well-formed).
+	Problem string
+}
+
+// ParseDirectives extracts every //crowdlint: directive in file,
+// well-formed or not.
+func ParseDirectives(file *ast.File) []Directive {
+	var out []Directive
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, DirectivePrefix) {
+				continue
+			}
+			out = append(out, parseDirective(c))
+		}
+	}
+	return out
+}
+
+func parseDirective(c *ast.Comment) Directive {
+	d := Directive{Pos: c.Pos(), Raw: c.Text}
+	body := strings.TrimPrefix(c.Text, DirectivePrefix)
+	verb, rest, _ := strings.Cut(body, " ")
+	if verb != "allow" {
+		d.Problem = "unknown crowdlint directive verb " + strings.TrimSpace(verb) + ` (only "allow" exists)`
+		return d
+	}
+	names, reason, found := strings.Cut(rest, "--")
+	if !found {
+		d.Problem = `missing "-- reason": every allow-directive must say why the rule is waived`
+		return d
+	}
+	d.Reason = strings.TrimSpace(reason)
+	if d.Reason == "" {
+		d.Problem = "empty reason after --: every allow-directive must say why the rule is waived"
+		return d
+	}
+	for _, name := range strings.Split(strings.TrimSpace(names), ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			d.Problem = "empty analyzer name in allow-directive"
+			return d
+		}
+		d.Analyzers = append(d.Analyzers, name)
+	}
+	if len(d.Analyzers) == 0 {
+		d.Problem = "allow-directive names no analyzer"
+	}
+	return d
+}
+
+// suppressIndex answers "is this (analyzer, position) covered by an
+// allow-directive?": by a directive on the same line, on the line directly
+// above, or in the doc comment of the enclosing function declaration.
+type suppressIndex struct {
+	// byLine maps filename -> line -> analyzer names allowed there.
+	byLine map[string]map[int][]string
+	// funcSpans are whole-function suppressions from FuncDecl doc comments.
+	funcSpans []funcSpan
+}
+
+type funcSpan struct {
+	lo, hi    token.Pos
+	analyzers []string
+}
+
+func buildSuppressIndex(fset *token.FileSet, files []*ast.File) *suppressIndex {
+	idx := &suppressIndex{byLine: make(map[string]map[int][]string)}
+	for _, f := range files {
+		for _, d := range ParseDirectives(f) {
+			if d.Problem != "" {
+				continue
+			}
+			pos := fset.Position(d.Pos)
+			lines := idx.byLine[pos.Filename]
+			if lines == nil {
+				lines = make(map[int][]string)
+				idx.byLine[pos.Filename] = lines
+			}
+			lines[pos.Line] = append(lines[pos.Line], d.Analyzers...)
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			var names []string
+			for _, c := range fd.Doc.List {
+				if !strings.HasPrefix(c.Text, DirectivePrefix) {
+					continue
+				}
+				if d := parseDirective(c); d.Problem == "" {
+					names = append(names, d.Analyzers...)
+				}
+			}
+			if len(names) > 0 {
+				idx.funcSpans = append(idx.funcSpans, funcSpan{lo: fd.Pos(), hi: fd.End(), analyzers: names})
+			}
+		}
+	}
+	return idx
+}
+
+func (idx *suppressIndex) covers(analyzer string, position token.Position, pos token.Pos) bool {
+	if lines := idx.byLine[position.Filename]; lines != nil {
+		for _, line := range [2]int{position.Line, position.Line - 1} {
+			for _, name := range lines[line] {
+				if name == analyzer {
+					return true
+				}
+			}
+		}
+	}
+	for _, span := range idx.funcSpans {
+		if span.lo <= pos && pos < span.hi {
+			for _, name := range span.analyzers {
+				if name == analyzer {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

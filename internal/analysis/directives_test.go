@@ -1,0 +1,145 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"crowdpricing/internal/analysis"
+)
+
+const suppressionSrc = `package demo
+
+func sameLine() int {
+	return 1 //crowdlint:allow retlint -- same-line suppression
+}
+
+func lineAbove() int {
+	//crowdlint:allow retlint -- line-above suppression
+	return 2
+}
+
+//crowdlint:allow retlint -- whole-function suppression from the doc comment
+func wholeFunc(cond bool) int {
+	if cond {
+		return 3
+	}
+	return 4
+}
+
+//crowdlint:allow otherlint -- different analyzer, must not suppress retlint
+func wrongAnalyzer() int {
+	return 5
+}
+
+func unsuppressed() int {
+	return 6
+}
+`
+
+// retlint reports every return statement; the test drives it through
+// RunPackage so the directive machinery (same-line, line-above, and
+// whole-function doc-comment suppression) is what decides which reports
+// survive.
+var retlint = &analysis.Analyzer{
+	Name: "retlint",
+	Doc:  "test analyzer reporting every return",
+	Run: func(pass *analysis.Pass) error {
+		for _, file := range pass.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				if ret, ok := n.(*ast.ReturnStmt); ok {
+					pass.Reportf(ret.Pos(), "return statement")
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+func TestDirectiveSuppression(t *testing.T) {
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "demo.go", suppressionSrc, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Defs:  make(map[*ast.Ident]types.Object),
+		Uses:  make(map[*ast.Ident]types.Object),
+	}
+	conf := types.Config{Importer: importer.Default()}
+	pkg, err := conf.Check("demo", fset, []*ast.File{file}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.RunPackage(fset, []*ast.File{file}, pkg, info, []*analysis.Analyzer{retlint})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Suppressed: sameLine, lineAbove, both returns of wholeFunc.
+	// Surviving: wrongAnalyzer's return, unsuppressed's return.
+	var lines []int
+	for _, d := range diags {
+		lines = append(lines, d.Pos.Line)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics at lines %v, want 2", len(diags), lines)
+	}
+	for _, d := range diags {
+		if d.Analyzer != "retlint" {
+			t.Errorf("diagnostic attributed to %q, want retlint", d.Analyzer)
+		}
+	}
+	if lines[0] != 22 || lines[1] != 26 {
+		t.Errorf("diagnostics at lines %v, want [22 26] (wrongAnalyzer and unsuppressed returns)", lines)
+	}
+}
+
+func TestParseDirectiveProblems(t *testing.T) {
+	src := `package demo
+
+//crowdlint:allow a -- ok
+//crowdlint:allow a,b -- two names
+//crowdlint:allow a
+//crowdlint:allow a --
+//crowdlint:forbid a -- bad verb
+//crowdlint:allow -- nameless
+func f() {}
+`
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "demo.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := analysis.ParseDirectives(file)
+	if len(ds) != 6 {
+		t.Fatalf("parsed %d directives, want 6", len(ds))
+	}
+	wantProblems := []string{
+		"",
+		"",
+		`missing "-- reason"`,
+		"empty reason",
+		"unknown crowdlint directive verb",
+		"empty analyzer name",
+	}
+	for i, want := range wantProblems {
+		if want == "" {
+			if ds[i].Problem != "" {
+				t.Errorf("directive %d (%q): unexpected problem %q", i, ds[i].Raw, ds[i].Problem)
+			}
+			continue
+		}
+		if !strings.Contains(ds[i].Problem, want) {
+			t.Errorf("directive %d (%q): problem %q, want substring %q", i, ds[i].Raw, ds[i].Problem, want)
+		}
+	}
+	if len(ds[1].Analyzers) != 2 {
+		t.Errorf("directive 1 analyzers = %v, want [a b]", ds[1].Analyzers)
+	}
+}

@@ -1,0 +1,51 @@
+package load_test
+
+import (
+	"testing"
+
+	"crowdpricing/internal/analysis/load"
+)
+
+// The determinism golden modules double as loader fixtures: tiny
+// self-contained modules with stdlib-only imports.
+func TestLoadGoldenModule(t *testing.T) {
+	pkgs, err := load.Load("../passes/determinism/testdata/strict", load.Options{}, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	if pkg.PkgPath != "crowdpricing/internal/core" {
+		t.Errorf("PkgPath = %q, want crowdpricing/internal/core", pkg.PkgPath)
+	}
+	if len(pkg.Syntax) == 0 {
+		t.Error("no parsed files")
+	}
+	if pkg.Types == nil || pkg.Info == nil {
+		t.Fatal("package not type-checked")
+	}
+	// Comments must be preserved: the analyzers read directives from them.
+	commented := false
+	for _, f := range pkg.Syntax {
+		if len(f.Comments) > 0 {
+			commented = true
+		}
+	}
+	if !commented {
+		t.Error("loader dropped comments; directives would be invisible")
+	}
+}
+
+func TestLoadBadDir(t *testing.T) {
+	if _, err := load.Load("testdata/does-not-exist", load.Options{}, "./..."); err == nil {
+		t.Fatal("expected an error loading a nonexistent directory")
+	}
+}
+
+func TestLoadBadPattern(t *testing.T) {
+	if _, err := load.Load("../passes/determinism/testdata/strict", load.Options{}, "./nosuchpkg"); err == nil {
+		t.Fatal("expected an error for a pattern matching nothing")
+	}
+}

@@ -1,0 +1,20 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"crowdpricing/internal/analysis/analysistest"
+	"crowdpricing/internal/analysis/passes/determinism"
+)
+
+func TestStrictTier(t *testing.T) {
+	analysistest.Run(t, "testdata/strict", determinism.Analyzer)
+}
+
+func TestReachabilityTier(t *testing.T) {
+	analysistest.Run(t, "testdata/reach", determinism.Analyzer)
+}
+
+func TestOutOfScope(t *testing.T) {
+	analysistest.Run(t, "testdata/outofscope", determinism.Analyzer)
+}

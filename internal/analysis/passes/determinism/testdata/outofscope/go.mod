@@ -1,0 +1,3 @@
+module example.com/outside
+
+go 1.24

@@ -1,0 +1,18 @@
+// Package outside is golden input proving the determinism analyzer is
+// scoped: the module path is not a crowdpricing deterministic package, so
+// nothing here is flagged.
+package outside
+
+import "time"
+
+func wallClock() time.Time {
+	return time.Now()
+}
+
+func mapOrder(m map[string]int) int {
+	n := 0
+	for k := range m {
+		n += len(k)
+	}
+	return n
+}

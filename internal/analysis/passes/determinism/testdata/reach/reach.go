@@ -1,0 +1,48 @@
+// Package server is golden input for the determinism analyzer's
+// reachability tier: wall-clock and global-rand rules apply everywhere,
+// but map iteration is only flagged in functions reachable from a
+// Fingerprint/encode/snapshot/hash root.
+package server
+
+import (
+	"fmt"
+	"time"
+)
+
+// Wall-clock calls are flagged even outside root-reachable code: the
+// daemon caches deterministic artifacts.
+func uptime(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `call to time\.Since in a deterministic path`
+}
+
+// Fingerprint is a root: its map iteration orders the cache key bytes.
+func Fingerprint(m map[string]int) string {
+	s := ""
+	for k, v := range m { // want `map iteration order is random`
+		s += fmt.Sprintf("%s=%d;", k, v)
+	}
+	return s
+}
+
+// helper is reachable from encodeState, so its iteration is flagged too.
+func helper(m map[string]int) string {
+	out := ""
+	for k := range m { // want `map iteration order is random`
+		out += k
+	}
+	return out
+}
+
+func encodeState(m map[string]int) string {
+	return helper(m)
+}
+
+// handler is NOT reachable from any root: its map iteration only drives
+// request handling, where order does not leak into durable bytes.
+func handler(m map[string]int) int {
+	n := 0
+	for k := range m {
+		n += len(k)
+	}
+	return n
+}

@@ -1,0 +1,3 @@
+module crowdpricing/internal/core
+
+go 1.24

@@ -1,0 +1,107 @@
+// Package core is golden input for the determinism analyzer's strict
+// tier: the module path claims crowdpricing/internal/core, so every
+// function is a deterministic path.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallClock() time.Time {
+	return time.Now() // want `call to time\.Now in a deterministic path`
+}
+
+func sinceStart(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `call to time\.Since in a deterministic path`
+}
+
+func untilDeadline(t1 time.Time) time.Duration {
+	return time.Until(t1) // want `call to time\.Until in a deterministic path`
+}
+
+// clockValue references time.Now as a value — the injectable-clock
+// pattern the analyzer pushes toward, deliberately unflagged.
+func clockValue() func() time.Time {
+	return time.Now
+}
+
+func globalDraw() int {
+	return rand.Int() // want `global rand\.Int draws from the process-wide random source`
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global rand\.Shuffle`
+}
+
+// seededDraw draws from an injected source: methods are sanctioned.
+func seededDraw(r *rand.Rand) float64 {
+	return r.Float64()
+}
+
+// newSeeded builds a seeded source: constructors are sanctioned.
+func newSeeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+func mapOrderLeaks(m map[string]int) string {
+	s := ""
+	for k, v := range m { // want `map iteration order is random`
+		s += fmt.Sprintf("%s=%d;", k, v)
+	}
+	return s
+}
+
+// collectThenSort is the sanctioned collect-append idiom.
+func collectThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// mapWrites only write map entries: order-insensitive.
+func mapWrites(src map[string]int) map[string]int {
+	out := make(map[string]int, len(src))
+	for k, v := range src {
+		out[k] = v
+	}
+	return out
+}
+
+// intAccum is exact-arithmetic accumulation: order-insensitive.
+func intAccum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// floatAccum is NOT order-insensitive: float addition rounds.
+func floatAccum(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want `map iteration order is random`
+		total += v
+	}
+	return total
+}
+
+func inClosure(m map[string]int) func() string {
+	return func() string {
+		s := ""
+		for k := range m { // want `map iteration order is random`
+			s += k
+		}
+		return s
+	}
+}
+
+func annotated() time.Time {
+	//crowdlint:allow determinism -- golden test exercises the escape hatch
+	return time.Now()
+}

@@ -1,0 +1,26 @@
+// Package dirs is golden input for the directive analyzer. The test
+// asserts on the diagnostics directly (a // want comment cannot trail a
+// line comment), so the expectations live in dirs_test.go's table: one
+// finding per bad directive below, none for the good ones.
+package dirs
+
+//crowdlint:allow determinism -- a well-formed directive with a reason
+func goodSingle() {}
+
+//crowdlint:allow determinism,locksafe -- several analyzers at once
+func goodMulti() {}
+
+//crowdlint:allow nosuchanalyzer -- reason given, analyzer unknown
+func badUnknownAnalyzer() {}
+
+//crowdlint:allow determinism
+func badMissingReason() {}
+
+//crowdlint:allow determinism --
+func badEmptyReason() {}
+
+//crowdlint:deny determinism -- unknown verb
+func badVerb() {}
+
+//crowdlint:allow -- no analyzer named
+func badNoAnalyzer() {}

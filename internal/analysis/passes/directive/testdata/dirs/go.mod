@@ -1,0 +1,3 @@
+module example.com/dirs
+
+go 1.24

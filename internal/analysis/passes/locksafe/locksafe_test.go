@@ -1,0 +1,12 @@
+package locksafe_test
+
+import (
+	"testing"
+
+	"crowdpricing/internal/analysis/analysistest"
+	"crowdpricing/internal/analysis/passes/locksafe"
+)
+
+func TestLockDiscipline(t *testing.T) {
+	analysistest.Run(t, "testdata/locks", locksafe.Analyzer)
+}

@@ -1,0 +1,3 @@
+module crowdpricing/internal/engine
+
+go 1.24

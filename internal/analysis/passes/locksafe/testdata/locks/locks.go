@@ -1,0 +1,120 @@
+// Package engine is golden input for the locksafe analyzer: the module
+// path claims crowdpricing/internal/engine, one of the two packages whose
+// mutexes fence the quote hot path.
+package engine
+
+import (
+	"net/http"
+	"sync"
+)
+
+type sched struct {
+	mu    sync.Mutex
+	queue chan int
+}
+
+func (s *sched) Solve() {}
+
+func (s *sched) sendWhileHeld() {
+	s.mu.Lock()
+	s.queue <- 1 // want `channel send while s\.mu is held`
+	s.mu.Unlock()
+}
+
+func (s *sched) recvWhileHeld() int {
+	s.mu.Lock()
+	v := <-s.queue // want `channel receive while s\.mu is held`
+	s.mu.Unlock()
+	return v
+}
+
+func (s *sched) solveWhileHeld() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.Solve() // want `Solve while s\.mu is held`
+}
+
+func (s *sched) httpWhileHeld() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	resp, err := http.Get("http://localhost/metrics") // want `net/http call \(Get\) while s\.mu is held`
+	_, _ = resp, err
+}
+
+func (s *sched) waitWhileHeld(wg *sync.WaitGroup) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	wg.Wait() // want `sync\.WaitGroup\.Wait while s\.mu is held`
+}
+
+func (s *sched) blockingSelectWhileHeld() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want `blocking select while s\.mu is held`
+	case v := <-s.queue:
+		_ = v
+	}
+}
+
+// guardedEnqueue is the engine's sanctioned admission pattern: a select
+// with a default clause is non-blocking.
+func (s *sched) guardedEnqueue() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case s.queue <- 1:
+		return true
+	default:
+		return false
+	}
+}
+
+func (s *sched) neverReleased() {
+	s.mu.Lock() // want `s\.mu\.Lock\(\) is never released in this function`
+	s.queue = make(chan int)
+}
+
+func (s *sched) returnWhileHeld(cond bool) int {
+	s.mu.Lock()
+	if cond {
+		return 1 // want `return while s\.mu is still locked`
+	}
+	s.mu.Unlock()
+	return 0
+}
+
+// earlyUnlockThenBlock releases before blocking: clean.
+func (s *sched) earlyUnlockThenBlock() {
+	s.mu.Lock()
+	s.queue = make(chan int, 1)
+	s.mu.Unlock()
+	s.queue <- 1
+}
+
+// goroutineIsIndependent: the closure body runs outside the parent's
+// lexical locks (and is analyzed as its own function).
+func (s *sched) goroutineIsIndependent() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		s.queue <- 1
+	}()
+}
+
+type reader struct {
+	mu sync.RWMutex
+	ch chan int
+}
+
+func (r *reader) rlockSend() {
+	r.mu.RLock()
+	r.ch <- 1 // want `channel send while r\.mu is held`
+	r.mu.RUnlock()
+}
+
+func (s *sched) annotated() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//crowdlint:allow locksafe -- golden test exercises the escape hatch
+	s.queue <- 1
+}

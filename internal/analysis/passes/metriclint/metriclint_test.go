@@ -1,0 +1,12 @@
+package metriclint_test
+
+import (
+	"testing"
+
+	"crowdpricing/internal/analysis/analysistest"
+	"crowdpricing/internal/analysis/passes/metriclint"
+)
+
+func TestMetricNaming(t *testing.T) {
+	analysistest.Run(t, "testdata/metrics", metriclint.Analyzer)
+}

@@ -1,0 +1,3 @@
+module crowdpricing/internal/server
+
+go 1.24

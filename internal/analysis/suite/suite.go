@@ -1,0 +1,29 @@
+// Package suite assembles the crowdlint analyzer set. cmd/crowdlint, the
+// unitchecker driver, and the repository self-check test all consume this
+// one list, so an analyzer added here is simultaneously available
+// standalone, under `go vet -vettool`, and in the regression gate.
+package suite
+
+import (
+	"crowdpricing/internal/analysis"
+	"crowdpricing/internal/analysis/passes/determinism"
+	"crowdpricing/internal/analysis/passes/directive"
+	"crowdpricing/internal/analysis/passes/locksafe"
+	"crowdpricing/internal/analysis/passes/metriclint"
+)
+
+// Analyzers is the full crowdlint suite.
+var Analyzers = []*analysis.Analyzer{
+	determinism.Analyzer,
+	locksafe.Analyzer,
+	metriclint.Analyzer,
+	directive.Analyzer,
+}
+
+func init() {
+	// The directive analyzer validates allow-directives against the real
+	// analyzer set; registering here keeps the two in lockstep.
+	for _, a := range Analyzers {
+		directive.KnownAnalyzers[a.Name] = true
+	}
+}

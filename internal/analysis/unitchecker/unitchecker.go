@@ -1,0 +1,137 @@
+// Package unitchecker implements the `go vet -vettool` protocol for the
+// crowdlint suite with only the standard library: the build system invokes
+// the tool once per package with a JSON config naming the package's
+// sources and the gc export data of its dependencies, and the tool
+// type-checks the unit against that export data (no source re-loading, no
+// x/tools dependency) and runs the analyzers.
+//
+// Protocol, as driven by cmd/go:
+//
+//	crowdlint -V=full         print a versioned build ID (vet cache key)
+//	crowdlint -flags          print supported analyzer flags (JSON)
+//	crowdlint <file>.cfg      analyze one package unit
+//
+// Diagnostics go to stderr as file:line:col lines; a unit with findings
+// exits 2, which `go vet` surfaces as a failed package.
+package unitchecker
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+
+	"crowdpricing/internal/analysis"
+)
+
+// Config is the JSON the build system writes for each vetted package
+// (cmd/go/internal/work's vetConfig); only the fields this driver reads
+// are declared.
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Run analyzes the package unit described by cfgPath and returns the
+// process exit code: 0 clean, 1 operational error, 2 findings.
+func Run(cfgPath string, analyzers []*analysis.Analyzer) int {
+	cfg, err := readConfig(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	// The suite computes no cross-package facts, so dependency-only
+	// invocations have nothing to do beyond satisfying the protocol's
+	// demand for an output file.
+	if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	files := make([]*ast.File, 0, len(cfg.GoFiles))
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	// Dependencies resolve through the gc export data the build already
+	// produced: lookup maps a source-level import path through ImportMap
+	// (vendoring, test-variant recompiles) to its export file.
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: compilerImporter, GoVersion: cfg.GoVersion}
+	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+
+	diags, err := analysis.RunPackage(fset, files, pkg, info, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+func readConfig(path string) (*Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(Config)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("parsing vet config %s: %v", path, err)
+	}
+	return cfg, nil
+}

@@ -1,0 +1,104 @@
+package unitchecker_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"crowdpricing/internal/analysis/suite"
+	"crowdpricing/internal/analysis/unitchecker"
+)
+
+// writeUnit lays out a one-file, import-free package unit plus its vet
+// config, mimicking what cmd/go hands the vettool.
+func writeUnit(t *testing.T, src string, vetxOnly bool) (cfgPath, vetxPath string) {
+	t.Helper()
+	dir := t.TempDir()
+	goFile := filepath.Join(dir, "unit.go")
+	if err := os.WriteFile(goFile, []byte(src), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	vetxPath = filepath.Join(dir, "unit.vetx")
+	cfg := unitchecker.Config{
+		ID:          "crowdpricing/internal/core",
+		Compiler:    "gc",
+		Dir:         dir,
+		ImportPath:  "crowdpricing/internal/core",
+		GoVersion:   "go1.24.0",
+		GoFiles:     []string{goFile},
+		ImportMap:   map[string]string{},
+		PackageFile: map[string]string{},
+		VetxOnly:    vetxOnly,
+		VetxOutput:  vetxPath,
+	}
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgPath = filepath.Join(dir, "vet.cfg")
+	if err := os.WriteFile(cfgPath, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	return cfgPath, vetxPath
+}
+
+func TestRunFlagsViolation(t *testing.T) {
+	if runtime.GOOS == "windows" {
+		t.Skip("posix paths in fixtures")
+	}
+	cfg, vetx := writeUnit(t, `package core
+
+func leak(m map[string]int) string {
+	s := ""
+	for k := range m {
+		s += k
+	}
+	return s
+}
+`, false)
+	if code := unitchecker.Run(cfg, suite.Analyzers); code != 2 {
+		t.Fatalf("exit code = %d, want 2 (findings)", code)
+	}
+	if _, err := os.Stat(vetx); err != nil {
+		t.Errorf("vetx output not written: %v", err)
+	}
+}
+
+func TestRunCleanUnit(t *testing.T) {
+	cfg, _ := writeUnit(t, `package core
+
+func add(a, b int) int { return a + b }
+`, false)
+	if code := unitchecker.Run(cfg, suite.Analyzers); code != 0 {
+		t.Fatalf("exit code = %d, want 0", code)
+	}
+}
+
+func TestRunVetxOnlySkipsAnalysis(t *testing.T) {
+	// A dependency-only unit must produce its vetx file and nothing else —
+	// even though the source would otherwise be flagged.
+	cfg, vetx := writeUnit(t, `package core
+
+func leak(m map[string]int) string {
+	s := ""
+	for k := range m {
+		s += k
+	}
+	return s
+}
+`, true)
+	if code := unitchecker.Run(cfg, suite.Analyzers); code != 0 {
+		t.Fatalf("exit code = %d, want 0 for a VetxOnly unit", code)
+	}
+	if _, err := os.Stat(vetx); err != nil {
+		t.Errorf("vetx output not written: %v", err)
+	}
+}
+
+func TestRunBadConfig(t *testing.T) {
+	if code := unitchecker.Run(filepath.Join(t.TempDir(), "missing.cfg"), suite.Analyzers); code != 1 {
+		t.Fatalf("exit code = %d, want 1 for an unreadable config", code)
+	}
+}

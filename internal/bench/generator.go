@@ -31,6 +31,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"crowdpricing/internal/campaign"
@@ -106,10 +107,24 @@ var DefaultMix = Mix{
 	kinds.KindTradeoff: 0.2,
 }
 
+// sortedKinds returns the mix's kind names in ascending order, so every
+// walk over the mix — and every float accumulation along it — is
+// deterministic for a given mix.
+func (m Mix) sortedKinds() []string {
+	names := make([]string, 0, len(m))
+	for k := range m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
 func (m Mix) total() float64 {
 	sum := 0.0
-	for _, w := range m {
-		sum += w
+	// Sorted walk: float addition is order-sensitive, and total() feeds the
+	// normalized weights that drive seeded kind selection.
+	for _, k := range m.sortedKinds() {
+		sum += m[k]
 	}
 	return sum
 }
@@ -190,7 +205,10 @@ func (c *Config) normalized() (Config, error) {
 			out.Mix = DefaultMix.clone()
 		}
 	}
-	for kind, w := range out.Mix {
+	// Sorted walk so a mix with several problems reports the same first
+	// error on every run.
+	for _, kind := range out.Mix.sortedKinds() {
+		w := out.Mix[kind]
 		def, ok := registry().Lookup(kind)
 		if !ok {
 			return out, fmt.Errorf("bench: mix names unknown kind %q (registered: %v)", kind, Kinds)

@@ -177,7 +177,13 @@ func BuildReport(cfg Config, target string, res *Result, now time.Time) *Report 
 	if res.Elapsed > 0 {
 		rep.ThroughputRPS = float64(rep.Requests-rep.Errors-rep.Rejected) / res.Elapsed.Seconds()
 	}
-	for kind, ks := range res.ByKind {
+	byKind := make([]string, 0, len(res.ByKind))
+	for kind := range res.ByKind {
+		byKind = append(byKind, kind)
+	}
+	sort.Strings(byKind)
+	for _, kind := range byKind {
+		ks := res.ByKind[kind]
 		if ks.Requests == 0 {
 			continue
 		}
@@ -279,6 +285,7 @@ func formatMix(m Mix) string {
 	// Mix entries for kinds outside the registry order (shouldn't happen
 	// post-validation, but reports may be replayed across versions).
 	extra := make([]string, 0)
+	//crowdlint:allow determinism -- collected entries are sorted two lines down
 	for kind, w := range m {
 		if kindByte(kind) == 0xff {
 			extra = append(extra, fmt.Sprintf("%s=%g", kind, w))

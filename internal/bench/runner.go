@@ -149,6 +149,29 @@ func IsRejection(err error) bool {
 	return errors.As(err, &apiErr) && apiErr.IsBackpressure()
 }
 
+// Clock is the runner's time source. Production uses the wall clock;
+// tests inject a fake so a schedule spanning minutes of virtual time
+// executes (and asserts on its accounting) in microseconds.
+type Clock interface {
+	Now() time.Time
+	// After returns a channel that delivers a tick once d has elapsed.
+	After(d time.Duration) <-chan time.Time
+}
+
+// funcClock adapts a pair of functions to Clock. The production wall
+// clock binds time.Now and time.After as values — the injectable-clock
+// pattern the determinism analyzer pushes wall-time call sites toward.
+type funcClock struct {
+	now   func() time.Time
+	after func(time.Duration) <-chan time.Time
+}
+
+func (c funcClock) Now() time.Time                         { return c.now() }
+func (c funcClock) After(d time.Duration) <-chan time.Time { return c.after(d) }
+
+// wallClock is the production time source.
+var wallClock Clock = funcClock{now: time.Now, after: time.After}
+
 // RunOptions tunes schedule execution.
 type RunOptions struct {
 	// Target receives the load. Required.
@@ -158,6 +181,9 @@ type RunOptions struct {
 	// still charge the delay to their measured latency — the schedule, not
 	// the responses, drives send times.
 	MaxConcurrent int
+	// Clock overrides the time source (nil = wall clock). Tests inject a
+	// fake clock to execute schedules without real sleeps.
+	Clock Clock
 }
 
 // KindStats aggregates one endpoint's (or the whole run's) measured
@@ -210,6 +236,10 @@ func Run(ctx context.Context, sched *Schedule, opts RunOptions) (*Result, error)
 	if maxConc <= 0 {
 		maxConc = 4096
 	}
+	clock := opts.Clock
+	if clock == nil {
+		clock = wallClock
+	}
 
 	res := &Result{
 		ScheduleHash: sched.Hash,
@@ -225,31 +255,21 @@ func Run(ctx context.Context, sched *Schedule, opts RunOptions) (*Result, error)
 		mu        sync.Mutex // guards ErrorSamples and the KindStats counters
 		wg        sync.WaitGroup
 		sem       = make(chan struct{}, maxConc)
-		start     = time.Now()
+		start     = clock.Now()
 		warmupDur = sched.Config.Warmup
 		canceled  error
 	)
 
-	timer := time.NewTimer(0)
-	if !timer.Stop() {
-		<-timer.C
-	}
-	defer timer.Stop()
-
 schedule:
 	for i := range sched.Requests {
 		req := &sched.Requests[i]
-		wait := time.Until(start.Add(req.At))
+		wait := start.Add(req.At).Sub(clock.Now())
 		if wait > 0 {
-			timer.Reset(wait)
 			select {
 			case <-ctx.Done():
 				canceled = ctx.Err()
-				if !timer.Stop() {
-					<-timer.C
-				}
 				break schedule
-			case <-timer.C:
+			case <-clock.After(wait):
 			}
 		} else if ctx.Err() != nil {
 			canceled = ctx.Err()
@@ -267,7 +287,7 @@ schedule:
 			defer func() { <-sem }()
 			scheduled := start.Add(req.At)
 			hit, err := opts.Target.Do(ctx, req)
-			latency := time.Since(scheduled)
+			latency := clock.Now().Sub(scheduled)
 			if req.At < warmupDur {
 				warmed.Add(1)
 				return
@@ -308,7 +328,7 @@ schedule:
 	}
 	wg.Wait()
 	res.Warmed = warmed.Load()
-	res.Elapsed = time.Since(start.Add(warmupDur))
+	res.Elapsed = clock.Now().Sub(start.Add(warmupDur))
 	if res.Elapsed < 0 {
 		res.Elapsed = 0
 	}

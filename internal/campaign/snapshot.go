@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 	"time"
 )
 
@@ -58,6 +59,9 @@ func (m *Manager) Snapshot(w io.Writer) error {
 	}
 	seq := m.seq.Load()
 	m.mu.RUnlock()
+	// The campaign table is a map; sort by ID so identical state snapshots
+	// to identical bytes (the files are diffed and fingerprinted).
+	sort.Slice(live, func(i, j int) bool { return live[i].id < live[j].id })
 
 	file := snapshotFile{
 		SchemaVersion: SnapshotSchemaVersion,

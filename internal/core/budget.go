@@ -54,13 +54,24 @@ type StaticStrategy struct {
 // which a marketplace drains a static strategy (highest reward first).
 func (s StaticStrategy) Prices() []int {
 	var out []int
-	for c, n := range s.Counts {
-		for i := 0; i < n; i++ {
+	for _, c := range s.sortedPrices() {
+		for i := 0; i < s.Counts[c]; i++ {
 			out = append(out, c)
 		}
 	}
 	sort.Sort(sort.Reverse(sort.IntSlice(out)))
 	return out
+}
+
+// sortedPrices returns the strategy's distinct prices in ascending order,
+// giving every Counts iteration a deterministic walk.
+func (s StaticStrategy) sortedPrices() []int {
+	prices := make([]int, 0, len(s.Counts))
+	for c := range s.Counts {
+		prices = append(prices, c)
+	}
+	sort.Ints(prices)
+	return prices
 }
 
 // TotalCost returns Σ c·n_c, the committed spend in cents.
@@ -86,12 +97,14 @@ func (s StaticStrategy) NumTasks() int {
 // every strategy minimizes by Theorem 3.
 func (s StaticStrategy) ExpectedWorkerArrivals(accept choice.AcceptanceFn) float64 {
 	total := 0.0
-	for c, n := range s.Counts {
+	// Sorted walk: float addition is order-sensitive in the low bits, and
+	// this value feeds fingerprinted artifacts.
+	for _, c := range s.sortedPrices() {
 		p := accept.Accept(c)
 		if p <= 0 {
 			return math.Inf(1)
 		}
-		total += float64(n) / p
+		total += float64(s.Counts[c]) / p
 	}
 	return total
 }

@@ -170,6 +170,7 @@ func (e *Engine) Solve(ctx context.Context, spec Spec) (*Result, error) {
 		tn.SetSolverParallelism(e.opts.SolverParallelism)
 	}
 
+	//crowdlint:allow determinism -- SolveMillis is wall-clock instrumentation, not part of the artifact
 	begin := time.Now()
 	e.mu.Lock()
 	if e.closed {
@@ -208,6 +209,7 @@ func (e *Engine) Solve(ctx context.Context, spec Spec) (*Result, error) {
 	}
 	res := &Result{Fingerprint: key, Value: c.val, CacheHit: c.cached}
 	if !c.cached {
+		//crowdlint:allow determinism -- SolveMillis is wall-clock instrumentation, not part of the artifact
 		res.SolveMillis = float64(time.Since(begin)) / float64(time.Millisecond)
 	}
 	return res, nil

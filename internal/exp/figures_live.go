@@ -164,7 +164,13 @@ func Figure1314(seed int64) (AccuracyResult, error) {
 	for _, h := range dyn.HITs {
 		byGroup[h.Group] = append(byGroup[h.Group], h.Accuracy())
 	}
-	for g, acc := range byGroup {
+	groups := make([]int, 0, len(byGroup))
+	for g := range byGroup {
+		groups = append(groups, g)
+	}
+	sort.Ints(groups)
+	for _, g := range groups {
+		acc := byGroup[g]
 		if len(acc) < 10 {
 			continue // the paper plots only the sizes the policy actually used
 		}
