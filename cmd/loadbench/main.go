@@ -43,6 +43,9 @@
 //	-campaign-steps int   campaign scenario: observe/quote pairs per session (default 8)
 //	-campaign-adaptive    campaign scenario: run sessions in adaptive re-planning mode
 //	-url string           target daemon base URL; empty runs in-process
+//	-campaign-wal-dir string  in-process mode: attach a campaign event log at
+//	                      this directory — the durability leg, for measuring
+//	                      WAL overhead against a log-less baseline run
 //	-cache int            in-process mode: policy cache capacity (default 1024)
 //	-workers int          in-process mode: goroutines inside each cold deadline solve (default 0 = all CPUs)
 //	-solve-concurrency int  in-process mode: engine solve worker pool (default 0 = all CPUs)
@@ -69,6 +72,7 @@ import (
 
 	"crowdpricing/internal/bench"
 	"crowdpricing/internal/server"
+	"crowdpricing/internal/wal"
 )
 
 func main() {
@@ -94,6 +98,7 @@ func main() {
 		campSteps   = flag.Int("campaign-steps", 0, "campaign scenario: observe/quote pairs per session (0 = default 8)")
 		campAdapt   = flag.Bool("campaign-adaptive", false, "campaign scenario: run every session in adaptive re-planning mode")
 		url         = flag.String("url", "", "target daemon base URL; empty runs in-process")
+		walDir      = flag.String("campaign-wal-dir", "", `in-process mode: attach a campaign event log at this directory ("" disables)`)
 		cacheSize   = flag.Int("cache", server.DefaultCacheSize, "in-process mode: policy cache capacity")
 		workers     = flag.Int("workers", 0, "in-process mode: goroutines inside each cold deadline solve (0 = all CPUs)")
 		solveConc   = flag.Int("solve-concurrency", 0, "in-process mode: engine solve worker pool (0 = all CPUs)")
@@ -134,16 +139,42 @@ func main() {
 
 	targetName := "in-process"
 	var base *bench.ClientTarget
+	closeWAL := func() {}
 	if *url != "" {
+		if *walDir != "" {
+			log.Fatal("-campaign-wal-dir applies to the in-process target only; the daemon behind -url owns its own -wal-dir")
+		}
 		targetName = *url
 		base = bench.NewHTTPTarget(*url)
 	} else {
-		base, _ = bench.NewInProcessTarget(server.Options{
+		var srv *server.Server
+		base, srv = bench.NewInProcessTarget(server.Options{
 			CacheSize:     *cacheSize,
 			SolverWorkers: *workers,
 			Workers:       *solveConc,
 			QueueDepth:    *queueDepth,
 		})
+		if *walDir != "" {
+			// The durability leg: same schedule, every campaign mutation
+			// group committed to a real on-disk log. Compare against a
+			// log-less baseline run to price the WAL's overhead.
+			wlog, err := srv.Campaigns().OpenWAL(*walDir, wal.Options{})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if _, err := srv.Campaigns().ReplayWAL(context.Background(), wlog); err != nil {
+				log.Fatal(err)
+			}
+			srv.AttachWAL(wlog)
+			targetName = "in-process+wal"
+			// main exits through os.Exit, which skips defers: close the log
+			// explicitly before every exit path below.
+			closeWAL = func() {
+				if err := wlog.Close(); err != nil {
+					log.Printf("wal close: %v", err)
+				}
+			}
+		}
 	}
 	target := bench.NewTargetFor(sched, base.Client)
 
@@ -162,6 +193,7 @@ func main() {
 		log.Printf("%v — reporting the partial run", runErr)
 	}
 
+	closeWAL()
 	rep := bench.BuildReport(sched.Config, targetName, res, time.Now())
 	fmt.Print(rep.Table())
 	if *out != "" {

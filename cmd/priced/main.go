@@ -25,6 +25,15 @@
 // table is restored from the file at boot and written back on graceful
 // shutdown, so restarts resume quoting identical prices.
 //
+// For crash durability — not just graceful restarts — run with -wal-dir:
+// every campaign mutation is appended to a checksummed event log, group
+// committed within -wal-sync-interval off the quote hot path, and replayed
+// at boot (tolerating torn trailing writes from the crash itself). When
+// both flags are set, a non-empty log wins and the snapshot file is
+// ignored; a legacy snapshot with an empty log is migrated — restored,
+// then compacted into the log — so `-campaign-snapshot` deployments can
+// adopt `-wal-dir` with no manual step. Inspect a log with cmd/waldump.
+//
 // Endpoints: POST /v1/solve/{kind} (deadline | budget | tradeoff | multi),
 // POST /v1/solve/batch; POST /v1/campaigns, POST
 // /v1/campaigns/{id}/observe, GET /v1/campaigns/{id}[/price], DELETE
@@ -56,6 +65,12 @@
 //	-campaign-snapshot string
 //	      campaign snapshot file: restored at boot if present, written on
 //	      graceful shutdown ("" disables)
+//	-wal-dir string
+//	      campaign event-log directory: replayed at boot, appended while
+//	      serving ("" disables durability)
+//	-wal-sync-interval duration
+//	      group-commit fsync window: a crash loses at most this much
+//	      acknowledged campaign history (default 5ms)
 package main
 
 import (
@@ -74,6 +89,7 @@ import (
 	"crowdpricing/internal/campaign"
 	"crowdpricing/internal/kinds"
 	"crowdpricing/internal/server"
+	"crowdpricing/internal/wal"
 )
 
 func main() {
@@ -94,6 +110,8 @@ func main() {
 	timeout := flag.Duration("timeout", server.DefaultRequestTimeout, "per-request solve timeout")
 	campaignTTL := flag.Duration("campaign-ttl", campaign.DefaultTTL, "expire campaigns idle for this long; negative never expires")
 	campaignSnap := flag.String("campaign-snapshot", "", `campaign snapshot file: restored at boot, written on graceful shutdown ("" disables)`)
+	walDir := flag.String("wal-dir", "", `campaign event-log directory: replayed at boot, appended while serving ("" disables durability)`)
+	walSync := flag.Duration("wal-sync-interval", wal.DefaultSyncInterval, "group-commit fsync window for the campaign event log")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		log.Fatalf("unexpected arguments %q; priced takes flags only", flag.Args())
@@ -108,9 +126,47 @@ func main() {
 		CampaignTTL:    *campaignTTL,
 	})
 	defer srv.Close()
+
+	// Campaign durability, in boot order: recover + replay the event log
+	// first (a non-empty log is the authoritative state), fall back to the
+	// legacy JSON snapshot only when the log is empty, and migrate such a
+	// restore into the log by compacting it to a snapshot record.
+	var wlog *wal.Log
+	walReplayed := false
+	if *walDir != "" {
+		var err error
+		wlog, err = srv.Campaigns().OpenWAL(*walDir, wal.Options{SyncInterval: *walSync})
+		if err != nil {
+			log.Fatalf("wal: %v", err)
+		}
+		defer func() {
+			if err := wlog.Close(); err != nil {
+				log.Printf("wal close: %v", err)
+			}
+		}()
+		begin := time.Now()
+		stats, err := srv.Campaigns().ReplayWAL(context.Background(), wlog)
+		if err != nil {
+			// Recovery already tolerated any torn tail; failing here means
+			// real corruption or an unsolvable event. Refuse to serve an
+			// empty table over live state.
+			log.Fatalf("wal replay from %s: %v", *walDir, err)
+		}
+		wlog.SetReplayDuration(time.Since(begin))
+		if wm := wlog.Metrics(); wm.TruncatedBytes > 0 {
+			log.Printf("wal: truncated %d torn byte(s) left by a crash mid-write", wm.TruncatedBytes)
+		}
+		walReplayed = stats.Records > 0
+		log.Printf("wal: replayed %d record(s) (%d snapshot(s)) from %s: %d campaign(s) live in %s",
+			stats.Records, stats.Snapshots, *walDir, stats.Campaigns, time.Since(begin).Round(time.Millisecond))
+	}
 	if *campaignSnap != "" {
 		restoreFailed := false
-		if f, err := os.Open(*campaignSnap); err == nil {
+		if walReplayed {
+			if _, err := os.Stat(*campaignSnap); err == nil {
+				log.Printf("campaign snapshot %s ignored: the event log at %s is non-empty and wins", *campaignSnap, *walDir)
+			}
+		} else if f, err := os.Open(*campaignSnap); err == nil {
 			restoreCtx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
 			err = srv.Campaigns().Restore(restoreCtx, f)
 			cancel()
@@ -160,6 +216,20 @@ func main() {
 			}
 			log.Printf("campaign table written to %s", *campaignSnap)
 		}()
+	}
+	if wlog != nil {
+		if !walReplayed {
+			if active := srv.Campaigns().Metrics().Active; active > 0 {
+				// Migration: fold the legacy-snapshot restore into the log as
+				// a compaction snapshot, so the next boot replays it from the
+				// log alone.
+				if err := wlog.Compact(); err != nil {
+					log.Fatalf("wal: seeding the log from the restored snapshot: %v", err)
+				}
+				log.Printf("wal: migrated %d restored campaign(s) into %s", active, *walDir)
+			}
+		}
+		srv.AttachWAL(wlog)
 	}
 	hs := &http.Server{
 		Addr:              *addr,

@@ -54,6 +54,7 @@ var StrictPackages = []string{
 	"crowdpricing/internal/kinds",
 	"crowdpricing/internal/bench",
 	"crowdpricing/internal/exp",
+	"crowdpricing/internal/wal",
 }
 
 // ReachPackages get the wall-clock and global-rand rules everywhere but

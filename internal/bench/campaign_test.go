@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"crowdpricing/internal/server"
+	"crowdpricing/internal/wal"
 )
 
 func campaignConfig() Config {
@@ -131,6 +132,55 @@ func TestCampaignScenarioSmoke(t *testing.T) {
 	}
 	if _, ok := rep.Endpoints[KindDeadline]; !ok {
 		t.Error("campaign sessions missing from the deadline endpoint bucket")
+	}
+}
+
+// TestCampaignDurabilityScenarioSmoke is the durability leg: the same
+// campaign workload with an event log attached must finish with zero
+// errors, log every mutation, and leave a log that replays cleanly into an
+// empty table (every session finished, so nothing should survive replay).
+func TestCampaignDurabilityScenarioSmoke(t *testing.T) {
+	sched, err := GenerateSchedule(campaignConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, srv := NewInProcessTarget(server.Options{})
+	mem := wal.NewMemFS()
+	wlog, err := srv.Campaigns().OpenWAL("wal", wal.Options{FS: mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.AttachWAL(wlog)
+	res, err := Run(context.Background(), sched, RunOptions{Target: NewTargetFor(sched, target.Client)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Overall.Errors != 0 {
+		t.Fatalf("durability run produced %d errors; samples: %v", res.Overall.Errors, res.ErrorSamples)
+	}
+	if err := wlog.Close(); err != nil {
+		t.Fatalf("closing the log after the run: %v", err)
+	}
+	wm := wlog.Metrics()
+	sessions := res.Overall.Requests + res.Warmed
+	// Each session logs one create, CampaignSteps observes, one finish.
+	if want := sessions * int64(sched.Config.CampaignSteps+2); wm.Appends != want {
+		t.Errorf("log holds %d appends, want %d (%d sessions × %d events)",
+			wm.Appends, want, sessions, sched.Config.CampaignSteps+2)
+	}
+	if wm.Fsyncs == 0 || wm.Fsyncs >= wm.Appends {
+		t.Errorf("fsyncs=%d for appends=%d: group commit is not batching", wm.Fsyncs, wm.Appends)
+	}
+
+	// Replay consistency: every session finished, so a recovery boot must
+	// succeed and land on an empty table.
+	_, srv2 := NewInProcessTarget(server.Options{})
+	stats, err := srv2.Campaigns().ReplayWAL(context.Background(), wal.NewReader(mem, "wal"))
+	if err != nil {
+		t.Fatalf("post-run replay: %v", err)
+	}
+	if stats.Records != wm.Appends || stats.Campaigns != 0 || int64(stats.Removed) != sessions {
+		t.Errorf("replay stats %+v, want %d records, 0 live campaigns, %d removed", stats, wm.Appends, sessions)
 	}
 }
 

@@ -138,6 +138,10 @@ type campaign struct {
 	replans       int64
 	created       time.Time
 	lastTouched   time.Time
+	// lastLSN is the event-log sequence number of the campaign's latest
+	// logged mutation; WAL snapshot records carry it so replay can skip
+	// events already folded into the snapshot (see ReplayWAL).
+	lastLSN uint64
 }
 
 // active returns the quoter the campaign currently follows. Callers hold mu.

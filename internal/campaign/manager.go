@@ -13,6 +13,7 @@ import (
 
 	"crowdpricing/internal/engine"
 	"crowdpricing/internal/kinds"
+	"crowdpricing/internal/wal"
 )
 
 // Solver is the slice of internal/engine the manager needs: one
@@ -59,6 +60,10 @@ type Manager struct {
 	mu        sync.RWMutex
 	campaigns map[string]*campaign
 	seq       atomic.Int64
+
+	// wlog, when attached, receives every state mutation as an event
+	// record (see wal.go); nil means durability is off.
+	wlog atomic.Pointer[wal.Log]
 
 	quit     chan struct{}
 	stopOnce sync.Once
@@ -143,6 +148,12 @@ func (m *Manager) ExpireIdle() int {
 	}
 	for _, id := range dead {
 		delete(m.campaigns, id)
+		// Expiry must reach the log, or a replay would resurrect the
+		// campaign. The sweeper has no caller to surface an append error
+		// to; the failure is sticky and the next client write reports it.
+		if _, err := m.walAppend(WALRecordExpire, walRefEvent{ID: id}); err != nil {
+			break
+		}
 	}
 	m.mu.Unlock()
 	m.expired.Add(int64(len(dead)))
@@ -227,6 +238,22 @@ func (m *Manager) Create(ctx context.Context, kind string, request json.RawMessa
 		m.mu.Unlock()
 		return nil, fmt.Errorf("%w (%d live campaigns)", ErrTableFull, m.opts.MaxCampaigns)
 	}
+	// Log the create while still holding the table lock: any Observe on
+	// the new ID must first see it in the table (an RLock acquired after
+	// this Unlock), so its event always lands after this one in the log.
+	lsn, err := m.walAppend(WALRecordCreate, walCreateEvent{
+		ID:              c.id,
+		Seq:             seq,
+		Kind:            kind,
+		Request:         request,
+		Adaptive:        adaptive,
+		CreatedUnixNano: now.UnixNano(),
+	})
+	if err != nil {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("campaign: logging create: %w", err)
+	}
+	c.lastLSN = lsn
 	m.campaigns[c.id] = c
 	m.mu.Unlock()
 	m.created.Add(1)
@@ -344,6 +371,17 @@ func (m *Manager) Observe(id string, arrivals float64, completed []int) (*State,
 	if err := c.observeLocked(arrivals, completed); err != nil {
 		return nil, err
 	}
+	// Log after the validate-then-mutate succeeds so rejected observes
+	// never reach the log (replay applies every logged event). The append
+	// happens under c.mu, so a campaign's events are logged in the order
+	// they were applied.
+	lsn, err := m.walAppend(WALRecordObserve, walObserveEvent{ID: c.id, Arrivals: arrivals, Completed: completed})
+	if err != nil {
+		return nil, fmt.Errorf("campaign: logging observe: %w", err)
+	}
+	if lsn > 0 {
+		c.lastLSN = lsn
+	}
 	c.lastTouched = m.opts.now()
 	m.replans.Add(c.replans - before)
 	return c.stateLocked(), nil
@@ -395,9 +433,16 @@ func (m *Manager) Finish(id string) (*Summary, error) {
 	if ok {
 		delete(m.campaigns, id)
 	}
+	var logErr error
+	if ok {
+		_, logErr = m.walAppend(WALRecordFinish, walRefEvent{ID: id})
+	}
 	m.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	if logErr != nil {
+		return nil, fmt.Errorf("campaign: logging finish: %w", logErr)
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -46,6 +46,10 @@ type campaignSnapshot struct {
 	Replans         int64     `json:"replans"`
 	CreatedUnixNano int64     `json:"created_unix_nano"`
 	TouchedUnixNano int64     `json:"last_touched_unix_nano"`
+	// LastLSN is the event-log high-water mark folded into this entry
+	// (WAL compaction snapshots only; omitted from legacy file snapshots).
+	// ReplayWAL skips events at or below it.
+	LastLSN uint64 `json:"last_lsn,omitempty"`
 }
 
 // Snapshot writes the live-campaign table as JSON: each campaign's original
@@ -85,6 +89,7 @@ func (m *Manager) Snapshot(w io.Writer) error {
 			Replans:         c.replans,
 			CreatedUnixNano: c.created.UnixNano(),
 			TouchedUnixNano: c.lastTouched.UnixNano(),
+			LastLSN:         c.lastLSN,
 		}
 		if c.adaptive() {
 			cs.Adaptive = &AdaptiveOptions{
@@ -218,6 +223,7 @@ func (m *Manager) rebuild(ctx context.Context, cs campaignSnapshot, now time.Tim
 	}
 	c.quotes = cs.Quotes
 	c.replans = cs.Replans
+	c.lastLSN = cs.LastLSN
 	c.created = time.Unix(0, cs.CreatedUnixNano)
 	// The restored campaign is touched now: surviving a restart should not
 	// count as idleness against the TTL.

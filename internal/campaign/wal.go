@@ -1,0 +1,324 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+
+	"crowdpricing/internal/wal"
+)
+
+// WAL record types: the campaign event schema layered on internal/wal's
+// opaque (type, payload) records. Payloads are JSON (the wire format the
+// requests already use); the expensive artifacts — solved policies — are
+// deliberately NOT logged. A campaign's dynamic state is a pure fold over
+// its create/observe events, and the engine re-solves policies
+// deterministically, so replay rebuilds bit-identical quote state from
+// requests alone and the log stays small.
+const (
+	// WALRecordCreate registers a campaign (walCreateEvent payload).
+	WALRecordCreate byte = 1
+	// WALRecordObserve advances one interval (walObserveEvent payload).
+	WALRecordObserve byte = 2
+	// WALRecordFinish removes a finished campaign (walRefEvent payload).
+	WALRecordFinish byte = 3
+	// WALRecordExpire removes a TTL-expired campaign (walRefEvent
+	// payload) — logged so a replay cannot resurrect it.
+	WALRecordExpire byte = 4
+	// WALRecordSnapshot is a compaction snapshot: the whole table in the
+	// Snapshot JSON schema, with per-campaign LSN high-water marks.
+	WALRecordSnapshot byte = 5
+)
+
+// WALRecordName renders a record type for inspection tools.
+func WALRecordName(t byte) string {
+	switch t {
+	case WALRecordCreate:
+		return "create"
+	case WALRecordObserve:
+		return "observe"
+	case WALRecordFinish:
+		return "finish"
+	case WALRecordExpire:
+		return "expire"
+	case WALRecordSnapshot:
+		return "snapshot"
+	}
+	return fmt.Sprintf("unknown(%d)", t)
+}
+
+// walCreateEvent logs a campaign registration: everything Create needs to
+// reproduce the campaign exactly, including the ID's sequence number so
+// the ID allocator resumes past replayed campaigns.
+type walCreateEvent struct {
+	ID              string           `json:"id"`
+	Seq             int64            `json:"seq"`
+	Kind            string           `json:"kind"`
+	Request         json.RawMessage  `json:"request"`
+	Adaptive        *AdaptiveOptions `json:"adaptive,omitempty"`
+	CreatedUnixNano int64            `json:"created_unix_nano"`
+}
+
+// walObserveEvent logs one observed interval.
+type walObserveEvent struct {
+	ID        string  `json:"id"`
+	Arrivals  float64 `json:"arrivals"`
+	Completed []int   `json:"completed,omitempty"`
+}
+
+// walRefEvent logs a removal (finish or expire).
+type walRefEvent struct {
+	ID string `json:"id"`
+}
+
+// OpenWAL opens (and crash-recovers) the campaign event log at dir with
+// the campaign record schema bound: compaction snapshots are taken from
+// this manager's table. Boot order is OpenWAL → ReplayWAL → AttachWAL.
+func (m *Manager) OpenWAL(dir string, opts wal.Options) (*wal.Log, error) {
+	opts.SnapshotType = WALRecordSnapshot
+	opts.SnapshotFn = m.walSnapshotPayload
+	return wal.Open(dir, opts)
+}
+
+// AttachWAL starts emitting events to l. Call it after ReplayWAL (replay
+// must not observe its own writes) and before serving mutations.
+func (m *Manager) AttachWAL(l *wal.Log) { m.wlog.Store(l) }
+
+// walSnapshotPayload renders the compaction snapshot: the standard
+// Snapshot JSON, whose entries carry per-campaign LSN high-water marks.
+func (m *Manager) walSnapshotPayload() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := m.Snapshot(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// walAppend emits one event (no-op without an attached log). The append
+// is asynchronous — group commit makes it durable within the fsync
+// window — but an error (the log is fail-stopped) is surfaced so callers
+// stop acknowledging mutations that can never be made durable.
+func (m *Manager) walAppend(typ byte, event any) (uint64, error) {
+	l := m.wlog.Load()
+	if l == nil {
+		return 0, nil
+	}
+	body, err := json.Marshal(event)
+	if err != nil {
+		return 0, err
+	}
+	return l.Append(typ, body)
+}
+
+// WALSource is the slice of *wal.Log that ReplayWAL needs; wal.NewReader
+// implements it too, so inspection tools can replay read-only.
+type WALSource interface {
+	Replay(fn func(wal.Record) error) error
+}
+
+// WALReplayStats summarizes one ReplayWAL.
+type WALReplayStats struct {
+	// Records is the number of intact log records folded; Snapshots how
+	// many of them were compaction snapshots.
+	Records   int64
+	Snapshots int64
+	// Campaigns is the number of live campaigns restored; Removed counts
+	// campaigns that appeared in the log but were finished or expired
+	// before its end.
+	Campaigns int
+	Removed   int
+}
+
+// walFold accumulates one campaign's replayed history: a base (either a
+// snapshot entry or a create event) plus ordered observe events.
+type walFold struct {
+	base     *campaignSnapshot
+	create   *walCreateEvent
+	observes []walObserveEvent
+	lastLSN  uint64
+}
+
+// ReplayWAL folds src's records into live campaigns: each campaign's
+// base state (latest snapshot entry, else its create event) is rebuilt
+// through the engine's deterministic re-solve and its observe events are
+// re-applied through the same code path Observe uses online, so replayed
+// campaigns quote bit-identical prices. Events with LSNs at or below a
+// snapshot entry's high-water mark are already folded into that entry and
+// are skipped — the rule that makes compaction's physical reordering
+// (snapshot record ahead of buffered older events) harmless.
+//
+// Like Restore, ReplayWAL is all-or-nothing and resumes the ID sequence
+// past every replayed campaign.
+func (m *Manager) ReplayWAL(ctx context.Context, src WALSource) (*WALReplayStats, error) {
+	stats := &WALReplayStats{}
+	folds := make(map[string]*walFold)
+	var nextSeq int64
+	removed := make(map[string]bool)
+
+	err := src.Replay(func(rec wal.Record) error {
+		stats.Records++
+		switch rec.Type {
+		case WALRecordCreate:
+			var ev walCreateEvent
+			if err := json.Unmarshal(rec.Data, &ev); err != nil {
+				return fmt.Errorf("campaign: bad create record (lsn %d): %w", rec.LSN, err)
+			}
+			if ev.ID == "" {
+				return fmt.Errorf("campaign: create record without id (lsn %d)", rec.LSN)
+			}
+			if f, ok := folds[ev.ID]; ok {
+				if rec.LSN <= f.lastLSN {
+					return nil // folded into an earlier snapshot entry
+				}
+				return fmt.Errorf("campaign: duplicate create for %q (lsn %d)", ev.ID, rec.LSN)
+			}
+			ev.Request = append(json.RawMessage(nil), ev.Request...)
+			folds[ev.ID] = &walFold{create: &ev, lastLSN: rec.LSN}
+			if ev.Seq > nextSeq {
+				nextSeq = ev.Seq
+			}
+		case WALRecordObserve:
+			var ev walObserveEvent
+			if err := json.Unmarshal(rec.Data, &ev); err != nil {
+				return fmt.Errorf("campaign: bad observe record (lsn %d): %w", rec.LSN, err)
+			}
+			f, ok := folds[ev.ID]
+			if !ok || rec.LSN <= f.lastLSN {
+				return nil // campaign already removed, or event pre-dates its snapshot entry
+			}
+			f.observes = append(f.observes, ev)
+			f.lastLSN = rec.LSN
+		case WALRecordFinish, WALRecordExpire:
+			var ev walRefEvent
+			if err := json.Unmarshal(rec.Data, &ev); err != nil {
+				return fmt.Errorf("campaign: bad removal record (lsn %d): %w", rec.LSN, err)
+			}
+			f, ok := folds[ev.ID]
+			if !ok || rec.LSN <= f.lastLSN {
+				return nil
+			}
+			delete(folds, ev.ID)
+			removed[ev.ID] = true
+		case WALRecordSnapshot:
+			var file snapshotFile
+			if err := json.Unmarshal(rec.Data, &file); err != nil {
+				return fmt.Errorf("campaign: bad snapshot record (lsn %d): %w", rec.LSN, err)
+			}
+			if file.SchemaVersion != SnapshotSchemaVersion {
+				return fmt.Errorf("campaign: snapshot record schema version %d, this binary expects %d",
+					file.SchemaVersion, SnapshotSchemaVersion)
+			}
+			stats.Snapshots++
+			// A snapshot record supersedes everything before it.
+			folds = make(map[string]*walFold, len(file.Campaigns))
+			for i := range file.Campaigns {
+				cs := file.Campaigns[i]
+				folds[cs.ID] = &walFold{base: &cs, lastLSN: cs.LastLSN}
+			}
+			if file.NextSeq > nextSeq {
+				nextSeq = file.NextSeq
+			}
+		default:
+			return fmt.Errorf("campaign: unknown record type %d (lsn %d) — log written by a newer binary?", rec.Type, rec.LSN)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	stats.Removed = len(removed)
+
+	ids := make([]string, 0, len(folds))
+	for id := range folds {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	now := m.opts.now()
+	rebuilt := make([]*campaign, 0, len(ids))
+	for _, id := range ids {
+		f := folds[id]
+		var (
+			c   *campaign
+			err error
+		)
+		if f.base != nil {
+			c, err = m.rebuild(ctx, *f.base, now)
+		} else {
+			c, err = m.rebuildFromEvent(ctx, f.create, now)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("campaign: replaying %q: %w", id, err)
+		}
+		c.mu.Lock()
+		for _, ob := range f.observes {
+			before := c.replans
+			if err := c.observeLocked(ob.Arrivals, ob.Completed); err != nil {
+				c.mu.Unlock()
+				return nil, fmt.Errorf("campaign: replaying observe for %q: %w", id, err)
+			}
+			m.replans.Add(c.replans - before)
+		}
+		c.lastLSN = f.lastLSN
+		c.mu.Unlock()
+		rebuilt = append(rebuilt, c)
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.campaigns)+len(rebuilt) > m.opts.MaxCampaigns {
+		return nil, fmt.Errorf("%w: %d replayed + %d live exceeds the %d-campaign limit",
+			ErrTableFull, len(rebuilt), len(m.campaigns), m.opts.MaxCampaigns)
+	}
+	for _, c := range rebuilt {
+		if _, dup := m.campaigns[c.id]; dup {
+			return nil, fmt.Errorf("campaign: replayed ID %q collides with a live campaign", c.id)
+		}
+	}
+	for _, c := range rebuilt {
+		m.campaigns[c.id] = c
+	}
+	for cur := m.seq.Load(); cur < nextSeq; cur = m.seq.Load() {
+		if m.seq.CompareAndSwap(cur, nextSeq) {
+			break
+		}
+	}
+	m.created.Add(int64(len(rebuilt)))
+	stats.Campaigns = len(rebuilt)
+	return stats, nil
+}
+
+// rebuildFromEvent reconstructs a campaign from its create event exactly
+// as Create would have: re-solve the policy (and adaptive bank) through
+// the engine, then start from the initial counts. Observe events are
+// applied on top by ReplayWAL.
+func (m *Manager) rebuildFromEvent(ctx context.Context, ev *walCreateEvent, now time.Time) (*campaign, error) {
+	spec, err := m.decodeSpec(ev.Kind, ev.Request)
+	if err != nil {
+		return nil, err
+	}
+	quoter, res, err := m.solveQuoter(ctx, ev.Kind, spec)
+	if err != nil {
+		return nil, err
+	}
+	c := &campaign{
+		id:          ev.ID,
+		kind:        ev.Kind,
+		request:     append([]byte(nil), ev.Request...),
+		fingerprint: res.Fingerprint,
+		bank:        []Quoter{quoter},
+		remaining:   quoter.InitialCounts(),
+		factor:      1,
+	}
+	if ev.Adaptive != nil {
+		if err := m.buildBank(ctx, c, spec, ev.Adaptive); err != nil {
+			return nil, err
+		}
+	}
+	c.created = time.Unix(0, ev.CreatedUnixNano)
+	c.lastTouched = now
+	return c, nil
+}

@@ -10,6 +10,9 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+	"time"
+
+	"crowdpricing/internal/wal"
 )
 
 // scrapeMetrics drives one solve and one client error through a fresh
@@ -62,6 +65,32 @@ func family(name string, histograms map[string]bool) string {
 // lowercase with the application prefix.
 func TestMetricsPrometheusConventions(t *testing.T) {
 	body := scrapeMetrics(t)
+	types := validateMetricsConventions(t, body)
+	for _, want := range []string{
+		"crowdpricing_requests_total",
+		"crowdpricing_errors_total",
+		"crowdpricing_cache_entries",
+		"crowdpricing_request_duration_seconds",
+		"crowdpricing_solves_total",
+		"crowdpricing_rejections_total",
+		"crowdpricing_queue_depth",
+		"crowdpricing_inflight_solves",
+	} {
+		if _, ok := types[want]; !ok {
+			t.Errorf("expected metric family %q absent from /metrics", want)
+		}
+	}
+	// A daemon running without durability must not expose always-zero
+	// event-log series.
+	if strings.Contains(body, "crowdpricing_wal_") {
+		t.Error("wal metric families rendered with no log attached")
+	}
+}
+
+// validateMetricsConventions parses one /metrics body against the
+// Prometheus exposition rules and returns the family → TYPE map.
+func validateMetricsConventions(t *testing.T, body string) map[string]string {
+	t.Helper()
 	types := map[string]string{} // family -> TYPE
 	helps := map[string]bool{}
 	histograms := map[string]bool{}
@@ -138,19 +167,77 @@ func TestMetricsPrometheusConventions(t *testing.T) {
 	if err := sc.Err(); err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{
-		"crowdpricing_requests_total",
-		"crowdpricing_errors_total",
-		"crowdpricing_cache_entries",
-		"crowdpricing_request_duration_seconds",
-		"crowdpricing_solves_total",
-		"crowdpricing_rejections_total",
-		"crowdpricing_queue_depth",
-		"crowdpricing_inflight_solves",
+	return types
+}
+
+// TestWALMetricsExposition attaches a campaign event log and checks its
+// families appear on /metrics, carry real values, and pass the same
+// Prometheus conventions as every other family.
+func TestWALMetricsExposition(t *testing.T) {
+	s, ts := newTestServer(t, Options{})
+	wlog, err := s.Campaigns().OpenWAL("wal", wal.Options{FS: wal.NewMemFS(), SyncInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { wlog.Close() })
+	wlog.SetReplayDuration(125 * time.Millisecond)
+	s.AttachWAL(wlog)
+
+	client := NewClient(ts.URL)
+	ctx := context.Background()
+	st, err := client.CreateCampaign(ctx, KindDeadline, campaignDeadlineRequest(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.ObserveCampaign(ctx, st.ID, 5, []int{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := wlog.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	raw, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+
+	types := validateMetricsConventions(t, body)
+	for family, typ := range map[string]string{
+		"crowdpricing_wal_appends_total":                     "counter",
+		"crowdpricing_wal_fsyncs_total":                      "counter",
+		"crowdpricing_wal_bytes_total":                       "counter",
+		"crowdpricing_wal_compactions_total":                 "counter",
+		"crowdpricing_wal_segments":                          "gauge",
+		"crowdpricing_wal_replay_seconds":                    "gauge",
+		"crowdpricing_wal_last_compaction_timestamp_seconds": "gauge",
 	} {
-		if _, ok := types[want]; !ok {
-			t.Errorf("expected metric family %q absent from /metrics", want)
+		if got := types[family]; got != typ {
+			t.Errorf("family %s has type %q, want %q", family, got, typ)
 		}
+	}
+	// The create and the observe were appended and group committed.
+	if !strings.Contains(body, "crowdpricing_wal_appends_total 2") {
+		t.Error("wal append counter did not count the create and observe events")
+	}
+	for _, positive := range []string{"crowdpricing_wal_fsyncs_total", "crowdpricing_wal_bytes_total", "crowdpricing_wal_segments"} {
+		re := regexp.MustCompile(`(?m)^` + positive + ` ([0-9]+)$`)
+		m := re.FindStringSubmatch(body)
+		if m == nil {
+			t.Errorf("family %s has no sample line", positive)
+			continue
+		}
+		if n, _ := strconv.ParseInt(m[1], 10, 64); n <= 0 {
+			t.Errorf("%s = %s, want > 0", positive, m[1])
+		}
+	}
+	if !strings.Contains(body, "crowdpricing_wal_replay_seconds 0.125") {
+		t.Error("replay-duration gauge does not carry the recorded value")
 	}
 }
 

@@ -46,6 +46,7 @@ import (
 	"crowdpricing/internal/engine"
 	"crowdpricing/internal/hdr"
 	"crowdpricing/internal/kinds"
+	"crowdpricing/internal/wal"
 )
 
 // Defaults for Options zero values.
@@ -114,6 +115,10 @@ type Server struct {
 
 	requests   atomic.Int64 // HTTP requests accepted across all endpoints
 	errorCount atomic.Int64 // non-2xx responses
+
+	// wal, when attached, is the campaign event log whose counters are
+	// rendered on /metrics.
+	wal atomic.Pointer[wal.Log]
 }
 
 // New builds a Server; see Options for the knobs.
@@ -188,6 +193,15 @@ func (s *Server) route(path string, h http.HandlerFunc) {
 
 // Handler returns the HTTP handler serving the full API surface.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// AttachWAL makes the campaign event log live: the campaign manager
+// starts emitting events to it and /metrics renders its counters. Call it
+// after replaying the log at boot (Campaigns().ReplayWAL) and before
+// serving mutations.
+func (s *Server) AttachWAL(l *wal.Log) {
+	s.wal.Store(l)
+	s.campaigns.AttachWAL(l)
+}
 
 // MetricsSnapshot is a consistent-enough point-in-time read of the
 // counters, exposed for tests and for embedding applications; the /metrics
@@ -488,7 +502,42 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"Solver executions actually performed, by problem kind.", m.SolvesByKind)
 	s.writeKindCounter(w, "crowdpricing_rejections_total",
 		"Cold solves shed with 429 because the admission queue was full, by problem kind.", m.RejectedByKind)
+	s.writeWALMetrics(w)
 	s.writeLatencyHistogram(w)
+}
+
+// writeWALMetrics renders the campaign event log's families — only when a
+// log is attached, so a daemon running without durability exposes no
+// always-zero series.
+func (s *Server) writeWALMetrics(w http.ResponseWriter) {
+	l := s.wal.Load()
+	if l == nil {
+		return
+	}
+	wm := l.Metrics()
+	for _, row := range []struct {
+		name, typ, help string
+		value           int64
+	}{
+		{"crowdpricing_wal_appends_total", "counter", "Records appended to the campaign event log.", wm.Appends},
+		{"crowdpricing_wal_fsyncs_total", "counter", "Group-commit flushes fsynced to the event log.", wm.Fsyncs},
+		{"crowdpricing_wal_bytes_total", "counter", "Framed bytes appended to the event log.", wm.Bytes},
+		{"crowdpricing_wal_compactions_total", "counter", "Event-log compactions into a snapshot record.", wm.Compactions},
+		{"crowdpricing_wal_segments", "gauge", "Event-log segment files currently on disk.", wm.Segments},
+	} {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n",
+			row.name, row.help, row.name, row.typ, row.name, row.value)
+	}
+	for _, row := range []struct {
+		name, help string
+		value      float64
+	}{
+		{"crowdpricing_wal_replay_seconds", "Wall time of the boot-time event-log replay.", wm.ReplaySeconds},
+		{"crowdpricing_wal_last_compaction_timestamp_seconds", "Unix time of the last event-log compaction (0 = never).", wm.LastCompactionUnixSeconds},
+	} {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n",
+			row.name, row.help, row.name, row.name, row.value)
+	}
 }
 
 // writeKindCounter renders one kind-labeled counter family. Every

@@ -1,0 +1,116 @@
+package wal
+
+import "sync"
+
+// FaultFS wraps another FS and injects write and sync failures at exact
+// byte offsets: FailWritesAfter(n, err) lets the next n bytes through,
+// tears the write that crosses the boundary (a short write — the bytes
+// before the budget land, the rest do not), and fails every write after.
+// Combined with MemFS.Crash this drives the recovery path through every
+// partial-write shape a real disk can produce.
+type FaultFS struct {
+	inner FS
+
+	mu          sync.Mutex
+	writeBudget int64 // bytes still allowed; negative = unlimited
+	writeErr    error
+	syncErr     error
+}
+
+// NewFaultFS wraps inner with no faults armed.
+func NewFaultFS(inner FS) *FaultFS {
+	return &FaultFS{inner: inner, writeBudget: -1}
+}
+
+// FailWritesAfter arms the write fault: n more bytes succeed, the write
+// crossing the boundary is torn (partially applied) and returns err, and
+// every later write fails immediately with err.
+func (f *FaultFS) FailWritesAfter(n int64, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.writeBudget, f.writeErr = n, err
+}
+
+// FailSyncs makes every Sync return err (nil disarms).
+func (f *FaultFS) FailSyncs(err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.syncErr = err
+}
+
+// Clear disarms all faults.
+func (f *FaultFS) Clear() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.writeBudget, f.writeErr, f.syncErr = -1, nil, nil
+}
+
+// MkdirAll implements FS.
+func (f *FaultFS) MkdirAll(dir string) error { return f.inner.MkdirAll(dir) }
+
+// ReadDir implements FS.
+func (f *FaultFS) ReadDir(dir string) ([]string, error) { return f.inner.ReadDir(dir) }
+
+// Create implements FS.
+func (f *FaultFS) Create(name string) (File, error) {
+	file, err := f.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: file}, nil
+}
+
+// Open implements FS (reads are never faulted — recovery robustness is
+// about what made it to disk, not about flaky reads).
+func (f *FaultFS) Open(name string) (File, error) { return f.inner.Open(name) }
+
+// Remove implements FS.
+func (f *FaultFS) Remove(name string) error { return f.inner.Remove(name) }
+
+// Truncate implements FS.
+func (f *FaultFS) Truncate(name string, size int64) error { return f.inner.Truncate(name, size) }
+
+type faultFile struct {
+	fs    *FaultFS
+	inner File
+}
+
+func (ff *faultFile) Read(p []byte) (int, error) { return ff.inner.Read(p) }
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	ff.fs.mu.Lock()
+	budget, werr := ff.fs.writeBudget, ff.fs.writeErr
+	if budget >= 0 {
+		if int64(len(p)) <= budget {
+			ff.fs.writeBudget -= int64(len(p))
+		} else {
+			ff.fs.writeBudget = 0
+		}
+	}
+	ff.fs.mu.Unlock()
+	if budget < 0 {
+		return ff.inner.Write(p)
+	}
+	if int64(len(p)) <= budget {
+		return ff.inner.Write(p)
+	}
+	// Torn write: the bytes inside the budget land, the rest are lost,
+	// and the caller sees the injected error.
+	n := 0
+	if budget > 0 {
+		n, _ = ff.inner.Write(p[:budget])
+	}
+	return n, werr
+}
+
+func (ff *faultFile) Sync() error {
+	ff.fs.mu.Lock()
+	serr := ff.fs.syncErr
+	ff.fs.mu.Unlock()
+	if serr != nil {
+		return serr
+	}
+	return ff.inner.Sync()
+}
+
+func (ff *faultFile) Close() error { return ff.inner.Close() }

@@ -1,0 +1,211 @@
+package wal
+
+import (
+	"fmt"
+	"io"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// MemFS is an in-memory FS for tests. Beyond being hermetic, it models
+// the one property a durability test needs from a disk: every file tracks
+// how much of it has been fsynced, and Crash drops everything that has
+// not — a power-cut simulation at byte granularity.
+type MemFS struct {
+	mu    sync.Mutex
+	files map[string]*memFile
+}
+
+type memFile struct {
+	data   []byte
+	synced int
+}
+
+// NewMemFS returns an empty in-memory filesystem.
+func NewMemFS() *MemFS {
+	return &MemFS{files: make(map[string]*memFile)}
+}
+
+// MkdirAll implements FS (directories are implicit in MemFS).
+func (fs *MemFS) MkdirAll(string) error { return nil }
+
+// ReadDir implements FS.
+func (fs *MemFS) ReadDir(dir string) ([]string, error) {
+	prefix := filepath.Clean(dir) + string(filepath.Separator)
+	fs.mu.Lock()
+	var names []string
+	for name := range fs.files {
+		names = append(names, name)
+	}
+	fs.mu.Unlock()
+	sort.Strings(names)
+	out := make([]string, 0, len(names))
+	for _, name := range names {
+		if rest, ok := strings.CutPrefix(name, prefix); ok && !strings.ContainsRune(rest, filepath.Separator) {
+			out = append(out, rest)
+		}
+	}
+	return out, nil
+}
+
+// Create implements FS: the file starts empty and fully unsynced.
+func (fs *MemFS) Create(name string) (File, error) {
+	name = filepath.Clean(name)
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f := &memFile{}
+	fs.files[name] = f
+	return &memHandle{fs: fs, file: f, write: true}, nil
+}
+
+// Open implements FS.
+func (fs *MemFS) Open(name string) (File, error) {
+	name = filepath.Clean(name)
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[name]
+	if !ok {
+		return nil, fmt.Errorf("memfs: open %s: no such file", name)
+	}
+	return &memHandle{fs: fs, file: f}, nil
+}
+
+// Remove implements FS.
+func (fs *MemFS) Remove(name string) error {
+	name = filepath.Clean(name)
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, ok := fs.files[name]; !ok {
+		return fmt.Errorf("memfs: remove %s: no such file", name)
+	}
+	delete(fs.files, name)
+	return nil
+}
+
+// Truncate implements FS.
+func (fs *MemFS) Truncate(name string, size int64) error {
+	name = filepath.Clean(name)
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[name]
+	if !ok {
+		return fmt.Errorf("memfs: truncate %s: no such file", name)
+	}
+	if size < 0 || size > int64(len(f.data)) {
+		return fmt.Errorf("memfs: truncate %s to %d: outside [0, %d]", name, size, len(f.data))
+	}
+	f.data = f.data[:size]
+	if f.synced > int(size) {
+		f.synced = int(size)
+	}
+	return nil
+}
+
+// Crash simulates a power cut: every file loses the bytes written since
+// its last Sync, and files never synced at all disappear (their directory
+// entry was never durable either). Open handles keep working against the
+// surviving bytes, but a recovery test should reopen the log instead.
+func (fs *MemFS) Crash() {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	var names []string
+	for name := range fs.files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := fs.files[name]
+		if f.synced == 0 {
+			delete(fs.files, name)
+			continue
+		}
+		f.data = f.data[:f.synced]
+	}
+}
+
+// ReadFile returns a copy of name's current content (synced or not).
+func (fs *MemFS) ReadFile(name string) ([]byte, bool) {
+	name = filepath.Clean(name)
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[name]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), f.data...), true
+}
+
+// WriteFile installs name with the given content, fully synced — the
+// building block for reconstructing truncated-at-offset-k filesystems in
+// the torn-write sweep.
+func (fs *MemFS) WriteFile(name string, data []byte) {
+	name = filepath.Clean(name)
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.files[name] = &memFile{data: append([]byte(nil), data...), synced: len(data)}
+}
+
+// Clone deep-copies the filesystem, so a test can branch one recorded
+// run into many truncation variants.
+func (fs *MemFS) Clone() *MemFS {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	out := NewMemFS()
+	for name, f := range fs.files {
+		out.files[name] = &memFile{data: append([]byte(nil), f.data...), synced: f.synced}
+	}
+	return out
+}
+
+// memHandle is one open MemFS file: reads advance a private offset,
+// writes append under the filesystem lock.
+type memHandle struct {
+	fs     *MemFS
+	file   *memFile
+	off    int
+	write  bool
+	closed bool
+}
+
+func (h *memHandle) Read(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return 0, fmt.Errorf("memfs: read on closed file")
+	}
+	if h.off >= len(h.file.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, h.file.data[h.off:])
+	h.off += n
+	return n, nil
+}
+
+func (h *memHandle) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed || !h.write {
+		return 0, fmt.Errorf("memfs: write on closed or read-only file")
+	}
+	h.file.data = append(h.file.data, p...)
+	return len(p), nil
+}
+
+func (h *memHandle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return fmt.Errorf("memfs: sync on closed file")
+	}
+	h.file.synced = len(h.file.data)
+	return nil
+}
+
+func (h *memHandle) Close() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	h.closed = true
+	return nil
+}
