@@ -1,0 +1,426 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Distributed-run timing defaults.
+const (
+	// DefaultHeartbeatGrace is how long a registered worker may stay
+	// silent (no heartbeat, no result) before the coordinator declares it
+	// dead and fails the run.
+	DefaultHeartbeatGrace = 15 * time.Second
+	// DefaultHeartbeatInterval is how often workers ping /heartbeat.
+	DefaultHeartbeatInterval = 2 * time.Second
+	// coordinatorTickInterval paces the liveness/deadline monitor.
+	coordinatorTickInterval = 500 * time.Millisecond
+	// maxWireBody bounds request bodies on the coordinator's endpoints.
+	maxWireBody = 32 << 20
+)
+
+// CoordinatorOptions configures a distributed run.
+type CoordinatorOptions struct {
+	// Schedule is the full generated schedule the run partitions. Required.
+	Schedule *Schedule
+	// NumWorkers is how many worker processes the run expects; assignments
+	// are released only once all of them have registered. Required ≥ 1.
+	NumWorkers int
+	// TargetURL is the daemon every worker drives, forwarded verbatim in
+	// assignments. May be empty only when workers build their own targets
+	// (tests); cmd/loadbench requires it.
+	TargetURL string
+	// MaxConcurrent is the per-worker in-flight cap forwarded in
+	// assignments (0 = runner default).
+	MaxConcurrent int
+	// Deadline bounds the whole run, registration through last result;
+	// when it passes, the run fails loudly instead of reporting whatever
+	// subset arrived. 0 derives warmup + duration + 2 minutes.
+	Deadline time.Duration
+	// HeartbeatGrace overrides DefaultHeartbeatGrace (0 = default).
+	HeartbeatGrace time.Duration
+	// Clock overrides the time source (nil = wall clock).
+	Clock Clock
+}
+
+// workerState tracks one registered worker.
+type workerState struct {
+	id       string
+	index    int
+	lastSeen time.Time
+	resulted bool
+}
+
+// Coordinator runs the controller side of a distributed benchmark: it
+// registers exactly NumWorkers workers, releases their slice assignments
+// together (a long-poll barrier, so the open-loop slices overlay into the
+// intended aggregate arrival process), tracks heartbeats while slices run,
+// collects posted results, and merges them into one Result.
+//
+// Failure is sticky and loud: a missed deadline, a stale heartbeat, a
+// schedule-hash mismatch, or a worker-reported failure each poison the run;
+// /report then serves the failure, never a partial merge.
+type Coordinator struct {
+	opts       CoordinatorOptions
+	runID      string
+	deadlineAt time.Time
+
+	mu       sync.Mutex
+	workers  map[string]*workerState
+	results  []*WorkerResult
+	merged   *Result
+	failure  error
+	released bool          // barrier closed
+	barrier  chan struct{} // closed when all workers have registered
+	done     chan struct{} // closed on completion or failure
+}
+
+// NewCoordinator validates opts and builds a Coordinator. The run's
+// deadline clock starts now.
+func NewCoordinator(opts CoordinatorOptions) (*Coordinator, error) {
+	if opts.Schedule == nil || opts.Schedule.Hash == "" {
+		return nil, fmt.Errorf("bench: CoordinatorOptions.Schedule (with its hash) is required")
+	}
+	if opts.NumWorkers < 1 {
+		return nil, fmt.Errorf("bench: NumWorkers must be ≥ 1, got %d", opts.NumWorkers)
+	}
+	if opts.Clock == nil {
+		opts.Clock = wallClock
+	}
+	if opts.HeartbeatGrace <= 0 {
+		opts.HeartbeatGrace = DefaultHeartbeatGrace
+	}
+	if opts.Deadline <= 0 {
+		opts.Deadline = opts.Schedule.Config.Warmup + opts.Schedule.Config.Duration + 2*time.Minute
+	}
+	return &Coordinator{
+		opts:       opts,
+		runID:      "run-" + opts.Schedule.Hash[:16],
+		deadlineAt: opts.Clock.Now().Add(opts.Deadline),
+		workers:    make(map[string]*workerState, opts.NumWorkers),
+		barrier:    make(chan struct{}),
+		done:       make(chan struct{}),
+	}, nil
+}
+
+// RunID returns the run identifier workers echo back.
+func (c *Coordinator) RunID() string { return c.runID }
+
+// Handler returns the coordinator's HTTP surface (the /control, /heartbeat,
+// /result, and /report endpoints).
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST "+ControlPath, c.handleControl)
+	mux.HandleFunc("POST "+HeartbeatPath, c.handleHeartbeat)
+	mux.HandleFunc("POST "+ResultPath, c.handleResult)
+	mux.HandleFunc("GET "+ReportPath, c.handleReport)
+	return mux
+}
+
+// failLocked records the first failure and releases every waiter. Callers
+// hold c.mu.
+func (c *Coordinator) failLocked(err error) {
+	if c.failure != nil || c.merged != nil {
+		return
+	}
+	c.failure = err
+	close(c.done)
+}
+
+// fail is failLocked for callers not holding the lock.
+func (c *Coordinator) fail(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.failLocked(err)
+}
+
+// Err returns the sticky failure, if any.
+func (c *Coordinator) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.failure
+}
+
+func (c *Coordinator) handleControl(w http.ResponseWriter, r *http.Request) {
+	var req ControlRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, maxWireBody)).Decode(&req); err != nil {
+		http.Error(w, "bad control request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.WorkerID == "" {
+		http.Error(w, "worker_id is required", http.StatusBadRequest)
+		return
+	}
+
+	c.mu.Lock()
+	if c.failure != nil {
+		err := c.failure
+		c.mu.Unlock()
+		http.Error(w, "run failed: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	st, ok := c.workers[req.WorkerID]
+	if !ok {
+		if len(c.workers) >= c.opts.NumWorkers {
+			c.mu.Unlock()
+			http.Error(w, fmt.Sprintf("run is fully subscribed (%d workers)", c.opts.NumWorkers), http.StatusConflict)
+			return
+		}
+		st = &workerState{id: req.WorkerID, index: len(c.workers), lastSeen: c.opts.Clock.Now()}
+		c.workers[req.WorkerID] = st
+		if len(c.workers) == c.opts.NumWorkers {
+			c.released = true
+			close(c.barrier)
+		}
+	} else {
+		st.lastSeen = c.opts.Clock.Now()
+	}
+	index := st.index
+	c.mu.Unlock()
+
+	// Long-poll: hold the response until every expected worker is in, so
+	// all slices start together and overlay into the full arrival process.
+	select {
+	case <-c.barrier:
+	case <-c.done:
+	case <-r.Context().Done():
+		return
+	}
+	if err := c.Err(); err != nil {
+		http.Error(w, "run failed: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeWireJSON(w, &Assignment{
+		RunID:          c.runID,
+		WorkerIndex:    index,
+		NumWorkers:     c.opts.NumWorkers,
+		Config:         c.opts.Schedule.Config,
+		ScheduleSHA256: c.opts.Schedule.Hash,
+		TargetURL:      c.opts.TargetURL,
+		MaxConcurrent:  c.opts.MaxConcurrent,
+	})
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req HeartbeatRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, maxWireBody)).Decode(&req); err != nil {
+		http.Error(w, "bad heartbeat: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.RunID != c.runID {
+		http.Error(w, fmt.Sprintf("heartbeat for run %q, this coordinator runs %q", req.RunID, c.runID), http.StatusConflict)
+		return
+	}
+	c.mu.Lock()
+	st, ok := c.workers[req.WorkerID]
+	if ok {
+		st.lastSeen = c.opts.Clock.Now()
+	}
+	c.mu.Unlock()
+	if !ok {
+		http.Error(w, fmt.Sprintf("unknown worker %q", req.WorkerID), http.StatusNotFound)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
+	var wr WorkerResult
+	if err := json.NewDecoder(io.LimitReader(r.Body, maxWireBody)).Decode(&wr); err != nil {
+		http.Error(w, "bad result: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if wr.RunID != c.runID {
+		http.Error(w, fmt.Sprintf("result for run %q, this coordinator runs %q", wr.RunID, c.runID), http.StatusConflict)
+		return
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st, ok := c.workers[wr.WorkerID]
+	if !ok {
+		http.Error(w, fmt.Sprintf("unknown worker %q", wr.WorkerID), http.StatusNotFound)
+		return
+	}
+	if c.failure != nil {
+		http.Error(w, "run failed: "+c.failure.Error(), http.StatusInternalServerError)
+		return
+	}
+	if st.resulted {
+		// A retried post after a lost 204: acknowledge, keep the original.
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	st.lastSeen = c.opts.Clock.Now()
+	if wr.WorkerIndex != st.index {
+		c.failLocked(fmt.Errorf("bench: worker %q posted a result for index %d but was assigned %d — protocol violation", wr.WorkerID, wr.WorkerIndex, st.index))
+		http.Error(w, c.failure.Error(), http.StatusConflict)
+		return
+	}
+	if wr.Failure != "" {
+		c.failLocked(fmt.Errorf("bench: worker %d (%s) reported failure: %s", st.index, wr.WorkerID, wr.Failure))
+		w.WriteHeader(http.StatusNoContent) // the failure is recorded; the post itself succeeded
+		return
+	}
+	if wr.ScheduleSHA256 != c.opts.Schedule.Hash {
+		c.failLocked(fmt.Errorf("bench: worker %d (%s) replayed schedule %.12s…, coordinator generated %.12s… — version skew or nondeterminism, failing the run", st.index, wr.WorkerID, wr.ScheduleSHA256, c.opts.Schedule.Hash))
+		http.Error(w, c.failure.Error(), http.StatusConflict)
+		return
+	}
+	st.resulted = true
+	c.results = append(c.results, &wr)
+	if len(c.results) == c.opts.NumWorkers {
+		merged, err := MergeWorkerResults(c.opts.Schedule, c.opts.NumWorkers, c.results)
+		if err != nil {
+			c.failLocked(err)
+		} else {
+			c.merged = merged
+			close(c.done)
+		}
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (c *Coordinator) handleReport(w http.ResponseWriter, r *http.Request) {
+	select {
+	case <-c.done:
+	case <-r.Context().Done():
+		return
+	}
+	rep, err := c.Report(c.opts.Clock.Now())
+	if err != nil {
+		http.Error(w, "run failed: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeWireJSON(w, rep)
+}
+
+func writeWireJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// The response is already streaming; nothing recoverable.
+		_ = err
+	}
+}
+
+// Wait blocks until the run completes (returning the merged Result) or
+// fails (deadline passed, a worker went silent past the heartbeat grace, a
+// hash mismatched, a worker reported failure, or ctx was canceled). A
+// failed run never yields a Result: partial coverage is an error, not a
+// report.
+func (c *Coordinator) Wait(ctx context.Context) (*Result, error) {
+	for {
+		select {
+		case <-c.done:
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			if c.failure != nil {
+				return nil, c.failure
+			}
+			return c.merged, nil
+		case <-ctx.Done():
+			err := fmt.Errorf("bench: coordinator canceled: %w", ctx.Err())
+			c.fail(err)
+			return nil, err
+		case <-c.opts.Clock.After(coordinatorTickInterval):
+			if err := c.checkLiveness(); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+// checkLiveness enforces the run deadline and the heartbeat grace. Returns
+// the run's failure if it just (or previously) failed.
+func (c *Coordinator) checkLiveness() error {
+	now := c.opts.Clock.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.failure != nil {
+		return c.failure
+	}
+	if c.merged != nil {
+		return nil
+	}
+	if now.After(c.deadlineAt) {
+		c.failLocked(fmt.Errorf("bench: run deadline %v exceeded with %d/%d results in (%d/%d workers registered) — failing loudly rather than reporting partial coverage",
+			c.opts.Deadline, len(c.results), c.opts.NumWorkers, len(c.workers), c.opts.NumWorkers))
+		return c.failure
+	}
+	// Heartbeats matter once slices are running (the barrier released);
+	// before that, a pending /control long-poll is the liveness signal.
+	if !c.released {
+		return nil
+	}
+	ids := make([]string, 0, len(c.workers))
+	for id := range c.workers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		st := c.workers[id]
+		if st.resulted {
+			continue
+		}
+		if silent := now.Sub(st.lastSeen); silent > c.opts.HeartbeatGrace {
+			c.failLocked(fmt.Errorf("bench: worker %d (%s) silent for %v (heartbeat grace %v) — presumed dead, failing the run",
+				st.index, st.id, silent.Round(time.Millisecond), c.opts.HeartbeatGrace))
+			return c.failure
+		}
+	}
+	return nil
+}
+
+// Report builds the merged v4 report: the same schema a single-process run
+// emits, plus the per-worker block. Only available once Wait has returned
+// successfully (or /report's long-poll released).
+func (c *Coordinator) Report(now time.Time) (*Report, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.failure != nil {
+		return nil, c.failure
+	}
+	if c.merged == nil {
+		return nil, fmt.Errorf("bench: run still in progress")
+	}
+	target := c.opts.TargetURL
+	if target == "" {
+		target = "distributed"
+	}
+	rep := BuildReport(c.opts.Schedule.Config, target, c.merged, now)
+	rep.Workers = workerReports(c.results)
+	return rep, nil
+}
+
+// workerReports summarizes each worker's slice for the report's workers
+// block, ordered by worker index.
+func workerReports(results []*WorkerResult) []WorkerReport {
+	ordered := append([]*WorkerResult(nil), results...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].WorkerIndex < ordered[j].WorkerIndex })
+	out := make([]WorkerReport, 0, len(ordered))
+	for _, wr := range ordered {
+		rep := WorkerReport{
+			Index:           wr.WorkerIndex,
+			WorkerID:        wr.WorkerID,
+			Requests:        wr.Overall.Requests,
+			Errors:          wr.Overall.Errors,
+			Rejected:        wr.Overall.Rejected,
+			WarmupRequests:  wr.Warmed,
+			DurationSeconds: time.Duration(wr.ElapsedNanos).Seconds(),
+		}
+		// The snapshot was validated at merge time; a decode error here
+		// would mean the stored result was mutated since, which cannot
+		// happen — but degrade to an empty summary rather than panic.
+		if h, err := wr.Overall.Latency.Histogram(); err == nil {
+			rep.Latency = summarize(h)
+		}
+		out = append(out, rep)
+	}
+	return out
+}

@@ -1,0 +1,1032 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"crowdpricing/internal/hdr"
+	"crowdpricing/internal/server"
+)
+
+// scriptedLatency is a pure function of a request — the deterministic
+// stand-in for a daemon's response time, so a single-process replay and a
+// sliced distributed replay observe the exact same latency samples.
+func scriptedLatency(q *Request) time.Duration {
+	return time.Duration(50_000 + int64(q.At)%997_000 + int64(q.ProblemID)*13_000)
+}
+
+func scriptedRejected(q *Request) bool { return q.Kind == KindTradeoff && q.ProblemID == 0 }
+func scriptedHit(q *Request) bool      { return q.ProblemID%2 == 0 }
+
+// replayScripted simulates executing reqs (one worker's slice, or the whole
+// schedule) with the scripted latency/rejection/hit functions, producing
+// the same accounting the real runner would.
+func replayScripted(reqs []Request, warmup time.Duration) *Result {
+	res := &Result{
+		Overall: &KindStats{Latency: hdr.New()},
+		ByKind:  make(map[string]*KindStats, len(Kinds)),
+	}
+	for _, k := range Kinds {
+		res.ByKind[k] = &KindStats{Latency: hdr.New()}
+	}
+	for i := range reqs {
+		q := &reqs[i]
+		if q.At < warmup {
+			res.Warmed++
+			continue
+		}
+		ks := res.ByKind[q.Kind]
+		res.Overall.Requests++
+		ks.Requests++
+		if scriptedRejected(q) {
+			res.Overall.Rejected++
+			ks.Rejected++
+			continue
+		}
+		if scriptedHit(q) {
+			res.Overall.CacheHits++
+			ks.CacheHits++
+		}
+		lat := scriptedLatency(q)
+		res.Overall.Latency.Record(lat)
+		ks.Latency.Record(lat)
+	}
+	return res
+}
+
+// TestMergedPercentilesMatchSingleProcess is the distributed-mode
+// equivalence proof: partition a fixed-seed schedule across 1, 2, and 4
+// workers, run each slice over the same deterministic latency function,
+// ship every worker's histograms through the wire encoding, and merge. The
+// merged histograms must equal the single-process replay bucket-for-bucket
+// — identical counts, sums, extremes, and every percentile (well within
+// the ≤3.1% hdr quantization error; for identical samples the merge is
+// exact).
+func TestMergedPercentilesMatchSingleProcess(t *testing.T) {
+	sched := sliceTestSchedule(t)
+	warmup := sched.Config.Warmup
+	single := replayScripted(sched.Requests, warmup)
+	singleSnap := single.Overall.Latency.Snapshot()
+
+	for _, n := range []int{1, 2, 4} {
+		results := make([]*WorkerResult, 0, n)
+		for wi := 0; wi < n; wi++ {
+			slice, err := SliceSchedule(sched, wi, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := replayScripted(slice.Requests, warmup)
+			res.ScheduleHash = slice.Hash
+			res.Elapsed = time.Second + time.Duration(wi)*time.Millisecond
+			a := &Assignment{RunID: "run-test", WorkerIndex: wi, NumWorkers: n}
+			// Through the wire: encode → JSON → decode, as posted results do.
+			wr := buildWorkerResult(a, fmt.Sprintf("w%d", wi), res)
+			data, err := json.Marshal(wr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var decoded WorkerResult
+			if err := json.Unmarshal(data, &decoded); err != nil {
+				t.Fatal(err)
+			}
+			results = append(results, &decoded)
+		}
+		merged, err := MergeWorkerResults(sched, n, results)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+
+		if merged.Overall.Requests != single.Overall.Requests ||
+			merged.Overall.Rejected != single.Overall.Rejected ||
+			merged.Overall.CacheHits != single.Overall.CacheHits ||
+			merged.Warmed != single.Warmed {
+			t.Fatalf("n=%d: merged totals %+v differ from single-process %+v", n, merged.Overall, single.Overall)
+		}
+		if !reflect.DeepEqual(merged.Overall.Latency.Snapshot(), singleSnap) {
+			t.Fatalf("n=%d: merged overall histogram differs from single-process bucket-for-bucket", n)
+		}
+		for _, kind := range Kinds {
+			if !reflect.DeepEqual(merged.ByKind[kind].Latency.Snapshot(), single.ByKind[kind].Latency.Snapshot()) {
+				t.Fatalf("n=%d: merged %q histogram differs from single-process", n, kind)
+			}
+		}
+		for _, q := range []float64{0.5, 0.9, 0.99, 0.999, 1} {
+			if a, b := merged.Overall.Latency.Quantile(q), single.Overall.Latency.Quantile(q); a != b {
+				t.Fatalf("n=%d: merged p%g = %d, single-process = %d", n, q*100, a, b)
+			}
+		}
+		if merged.Elapsed != time.Second+time.Duration(n-1)*time.Millisecond {
+			t.Fatalf("n=%d: merged elapsed %v is not the slowest worker's", n, merged.Elapsed)
+		}
+	}
+}
+
+// distributedHarness runs a coordinator over httptest plus nWorkers real
+// RunWorker loops sharing one in-process pricing daemon.
+func distributedHarness(t *testing.T, cfg Config, nWorkers int) (*Report, *Result) {
+	t.Helper()
+	sched, err := GenerateSchedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := NewCoordinator(CoordinatorOptions{
+		Schedule:   sched,
+		NumWorkers: nWorkers,
+		TargetURL:  "in-process-shared",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := httptest.NewServer(coord.Handler())
+	defer cs.Close()
+
+	// All workers drive one shared daemon, like a production distributed
+	// run drives one URL — so the policy cache behaves as a single target.
+	shared, _ := NewInProcessTarget(server.Options{})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	errs := make([]error, nWorkers)
+	for i := 0; i < nWorkers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = RunWorker(ctx, WorkerOptions{
+				CoordinatorURL: cs.URL,
+				WorkerID:       fmt.Sprintf("test-worker-%d", i),
+				NewTarget: func(a *Assignment, sched *Schedule) (Target, error) {
+					return NewTargetFor(sched, shared.Client), nil
+				},
+			})
+		}(i)
+	}
+	merged, waitErr := coord.Wait(ctx)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+	if waitErr != nil {
+		t.Fatalf("coordinator: %v", waitErr)
+	}
+	rep, err := coord.Report(time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep, merged
+}
+
+// TestDistributedEndToEnd drives the full protocol — register, long-poll
+// barrier, slice replay, heartbeats, result post, merge — with two real
+// workers against one shared in-process daemon, and checks the merged
+// report against an independent single-process run of the same seed: same
+// schedule hash, same request accounting, zero errors.
+func TestDistributedEndToEnd(t *testing.T) {
+	cfg := Config{
+		Seed:        11,
+		Rate:        250,
+		Duration:    400 * time.Millisecond,
+		Warmup:      100 * time.Millisecond,
+		Cardinality: 3,
+		Size:        SizeSmall,
+	}
+	rep, merged := distributedHarness(t, cfg, 2)
+
+	// Single-process reference over the same seed: a fresh daemon, the
+	// standard runner, the whole schedule.
+	sched, err := GenerateSchedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	singleTarget, _ := NewInProcessTarget(server.Options{})
+	singleRes, err := Run(context.Background(), sched, RunOptions{Target: NewTargetFor(sched, singleTarget.Client)})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if rep.ScheduleSHA256 != sched.Hash {
+		t.Fatalf("merged report hash %.12s != single-process schedule hash %.12s", rep.ScheduleSHA256, sched.Hash)
+	}
+	if rep.SchemaVersion != SchemaVersion {
+		t.Fatalf("merged report schema %d, want %d", rep.SchemaVersion, SchemaVersion)
+	}
+	if rep.Errors != 0 || singleRes.Overall.Errors != 0 {
+		t.Fatalf("errors: distributed %d, single %d (samples %v)", rep.Errors, singleRes.Overall.Errors, rep.ErrorSamples)
+	}
+	if rep.Requests != singleRes.Overall.Requests || merged.Warmed != singleRes.Warmed {
+		t.Fatalf("accounting differs: distributed %d measured/%d warmed, single %d/%d",
+			rep.Requests, merged.Warmed, singleRes.Overall.Requests, singleRes.Warmed)
+	}
+	if len(rep.Workers) != 2 {
+		t.Fatalf("workers block has %d entries, want 2", len(rep.Workers))
+	}
+	var wsum int64
+	for i, wr := range rep.Workers {
+		if wr.Index != i {
+			t.Fatalf("workers block out of order: %+v", rep.Workers)
+		}
+		wsum += wr.Requests
+	}
+	if wsum != rep.Requests {
+		t.Fatalf("worker request counts sum to %d, report totals %d", wsum, rep.Requests)
+	}
+	if !strings.Contains(rep.Table(), "distributed: 2 workers") {
+		t.Error("table output missing the workers block")
+	}
+}
+
+// TestCoordinatorDeadlineFailsLoudly: a run whose workers never all arrive
+// must fail with an explicit partial-coverage error — and /report must
+// serve the failure, not a partial merge.
+func TestCoordinatorDeadlineFailsLoudly(t *testing.T) {
+	sched := sliceTestSchedule(t)
+	coord, err := NewCoordinator(CoordinatorOptions{
+		Schedule:   sched,
+		NumWorkers: 2,
+		Deadline:   300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := httptest.NewServer(coord.Handler())
+	defer cs.Close()
+
+	// One worker registers; the second never shows up. The long-poll ends
+	// with a 500 once the run fails, which is the point — ignore it here.
+	go tryPostJSON(cs.URL+ControlPath, ControlRequest{WorkerID: "only-one"})
+
+	_, waitErr := coord.Wait(context.Background())
+	if waitErr == nil {
+		t.Fatal("coordinator reported success with 0/2 results")
+	}
+	if !strings.Contains(waitErr.Error(), "partial coverage") {
+		t.Fatalf("deadline error does not name partial coverage: %v", waitErr)
+	}
+	resp, err := http.Get(cs.URL + ReportPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("/report after failure returned %d, want 500", resp.StatusCode)
+	}
+}
+
+// TestCoordinatorHeartbeatTimeout: once slices are running, a worker that
+// stops heartbeating past the grace fails the run by name.
+func TestCoordinatorHeartbeatTimeout(t *testing.T) {
+	sched := sliceTestSchedule(t)
+	coord, err := NewCoordinator(CoordinatorOptions{
+		Schedule:       sched,
+		NumWorkers:     2,
+		Deadline:       30 * time.Second,
+		HeartbeatGrace: 300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := httptest.NewServer(coord.Handler())
+	defer cs.Close()
+
+	// Both workers register (releasing the barrier); neither heartbeats.
+	// "alive" posts a result; "silent" vanishes.
+	var assignments [2]Assignment
+	var wg sync.WaitGroup
+	for i, id := range []string{"alive", "silent"} {
+		wg.Add(1)
+		go func(i int, id string) {
+			defer wg.Done()
+			status, body, err := tryPostJSON(cs.URL+ControlPath, ControlRequest{WorkerID: id})
+			if err != nil || status != http.StatusOK {
+				t.Errorf("register %s: status %d err %v", id, status, err)
+				return
+			}
+			if err := json.Unmarshal(body, &assignments[i]); err != nil {
+				t.Errorf("register %s: %v", id, err)
+			}
+		}(i, id)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	postJSON(t, cs.URL+ResultPath, &WorkerResult{
+		RunID:          coord.RunID(),
+		WorkerID:       "alive",
+		WorkerIndex:    assignments[0].WorkerIndex,
+		ScheduleSHA256: sched.Hash,
+		Overall:        emptyWireStats(),
+		Failure:        "scripted failure so the merge never runs", // also proves failure propagation
+	})
+
+	_, waitErr := coord.Wait(context.Background())
+	if waitErr == nil {
+		t.Fatal("coordinator reported success")
+	}
+	// Either the scripted failure or the silent worker's heartbeat lapse
+	// fails the run first; both must be loud and name the worker.
+	msg := waitErr.Error()
+	if !strings.Contains(msg, "scripted failure") && !strings.Contains(msg, "presumed dead") {
+		t.Fatalf("run failed without naming the cause: %v", waitErr)
+	}
+}
+
+// TestCoordinatorHeartbeatKeepsRunAlive: heartbeats within the grace hold
+// the run open well past the grace window itself.
+func TestCoordinatorHeartbeatKeepsRunAlive(t *testing.T) {
+	sched := sliceTestSchedule(t)
+	coord, err := NewCoordinator(CoordinatorOptions{
+		Schedule:       sched,
+		NumWorkers:     1,
+		Deadline:       30 * time.Second,
+		HeartbeatGrace: 400 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := httptest.NewServer(coord.Handler())
+	defer cs.Close()
+
+	a := decodeJSON[Assignment](t, postJSON(t, cs.URL+ControlPath, ControlRequest{WorkerID: "steady"}))
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(100 * time.Millisecond):
+				tryPostJSON(cs.URL+HeartbeatPath, HeartbeatRequest{RunID: a.RunID, WorkerID: "steady"})
+			}
+		}
+	}()
+	// Hold the run open for 3 grace windows, then complete it.
+	time.Sleep(1200 * time.Millisecond)
+	if err := coord.Err(); err != nil {
+		t.Fatalf("run failed despite steady heartbeats: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+
+	slice, err := SliceSchedule(sched, a.WorkerIndex, a.NumWorkers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := replayScripted(slice.Requests, sched.Config.Warmup)
+	res.ScheduleHash = sched.Hash
+	postJSON(t, cs.URL+ResultPath, buildWorkerResult(&a, "steady", res))
+	if _, err := coord.Wait(context.Background()); err != nil {
+		t.Fatalf("completed run failed: %v", err)
+	}
+}
+
+// TestCoordinatorRejectsHashMismatch: a result replaying a different
+// schedule fails the run with the version-skew message.
+func TestCoordinatorRejectsHashMismatch(t *testing.T) {
+	sched := sliceTestSchedule(t)
+	coord, err := NewCoordinator(CoordinatorOptions{Schedule: sched, NumWorkers: 1, Deadline: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := httptest.NewServer(coord.Handler())
+	defer cs.Close()
+
+	a := decodeJSON[Assignment](t, postJSON(t, cs.URL+ControlPath, ControlRequest{WorkerID: "skewed"}))
+	status, _, err := tryPostJSON(cs.URL+ResultPath, &WorkerResult{
+		RunID:          a.RunID,
+		WorkerID:       "skewed",
+		WorkerIndex:    a.WorkerIndex,
+		ScheduleSHA256: strings.Repeat("f", 64),
+		Overall:        emptyWireStats(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != http.StatusConflict {
+		t.Fatalf("mismatched result got %d, want 409", status)
+	}
+	_, waitErr := coord.Wait(context.Background())
+	if waitErr == nil || !strings.Contains(waitErr.Error(), "version skew") {
+		t.Fatalf("hash mismatch not failed loudly: %v", waitErr)
+	}
+}
+
+// TestCoordinatorRejectsExtraWorker: registration beyond NumWorkers is a
+// 409, and the run is unaffected.
+func TestCoordinatorRejectsExtraWorker(t *testing.T) {
+	sched := sliceTestSchedule(t)
+	coord, err := NewCoordinator(CoordinatorOptions{Schedule: sched, NumWorkers: 1, Deadline: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := httptest.NewServer(coord.Handler())
+	defer cs.Close()
+
+	decodeJSON[Assignment](t, postJSON(t, cs.URL+ControlPath, ControlRequest{WorkerID: "first"}))
+	resp, err := http.Post(cs.URL+ControlPath, "application/json", strings.NewReader(`{"worker_id":"interloper"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("extra worker got %d, want 409", resp.StatusCode)
+	}
+	if coord.Err() != nil {
+		t.Fatalf("extra registration poisoned the run: %v", coord.Err())
+	}
+}
+
+// TestControlIsIdempotent: a worker re-registering with the same id gets
+// the same assignment — the retry path after a dropped long-poll.
+func TestControlIsIdempotent(t *testing.T) {
+	sched := sliceTestSchedule(t)
+	coord, err := NewCoordinator(CoordinatorOptions{Schedule: sched, NumWorkers: 1, Deadline: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := httptest.NewServer(coord.Handler())
+	defer cs.Close()
+	a := decodeJSON[Assignment](t, postJSON(t, cs.URL+ControlPath, ControlRequest{WorkerID: "retrier"}))
+	b := decodeJSON[Assignment](t, postJSON(t, cs.URL+ControlPath, ControlRequest{WorkerID: "retrier"}))
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("re-registration changed the assignment: %+v vs %+v", a, b)
+	}
+}
+
+// TestMergeRejectsPartialCoverage: every way a merge could silently drop
+// coverage is an explicit error.
+func TestMergeRejectsPartialCoverage(t *testing.T) {
+	sched := sliceTestSchedule(t)
+	mkResult := func(wi, n int) *WorkerResult {
+		slice, err := SliceSchedule(sched, wi, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := replayScripted(slice.Requests, sched.Config.Warmup)
+		res.ScheduleHash = sched.Hash
+		return buildWorkerResult(&Assignment{RunID: "r", WorkerIndex: wi, NumWorkers: n}, fmt.Sprintf("w%d", wi), res)
+	}
+
+	full := []*WorkerResult{mkResult(0, 2), mkResult(1, 2)}
+	if _, err := MergeWorkerResults(sched, 2, full); err != nil {
+		t.Fatalf("complete merge failed: %v", err)
+	}
+
+	if _, err := MergeWorkerResults(sched, 2, full[:1]); err == nil || !strings.Contains(err.Error(), "partial coverage") {
+		t.Errorf("missing result not rejected: %v", err)
+	}
+	dup := []*WorkerResult{mkResult(0, 2), mkResult(0, 2)}
+	if _, err := MergeWorkerResults(sched, 2, dup); err == nil {
+		t.Error("duplicate worker index merged")
+	}
+	failed := []*WorkerResult{mkResult(0, 2), {RunID: "r", WorkerID: "w1", WorkerIndex: 1, ScheduleSHA256: sched.Hash, Failure: "it broke"}}
+	if _, err := MergeWorkerResults(sched, 2, failed); err == nil || !strings.Contains(err.Error(), "it broke") {
+		t.Errorf("failure result not surfaced: %v", err)
+	}
+	// A worker silently under-reporting (some events never accounted)
+	// must be caught by the coverage total.
+	short := []*WorkerResult{mkResult(0, 2), mkResult(1, 2)}
+	short[1].Overall.Requests -= 3
+	short[1].ByKind = map[string]*WireStats{}
+	if _, err := MergeWorkerResults(sched, 2, short); err == nil {
+		t.Error("under-reported coverage merged")
+	}
+}
+
+// TestReportOmitsWorkersBlockWhenSingle: single-process reports are
+// identical to before apart from the version bump — no workers key at all.
+func TestReportOmitsWorkersBlockWhenSingle(t *testing.T) {
+	sched := sliceTestSchedule(t)
+	res := replayScripted(sched.Requests, sched.Config.Warmup)
+	res.ScheduleHash = sched.Hash
+	res.Elapsed = time.Second
+	rep := BuildReport(sched.Config, "in-process", res, time.Time{})
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), `"workers"`) {
+		t.Fatal("single-process report contains a workers block")
+	}
+}
+
+// --- small HTTP helpers ---
+
+func emptyWireStats() *WireStats {
+	return &WireStats{Latency: hdr.New().Snapshot()}
+}
+
+// tryPostJSON issues a JSON POST without failing the test — safe to call
+// from helper goroutines (t.Fatal must stay on the test goroutine).
+func tryPostJSON(url string, v any) (int, []byte, error) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return 0, nil, err
+	}
+	resp, err := http.Post(url, "application/json", strings.NewReader(string(data)))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	return resp.StatusCode, body, err
+}
+
+func postJSON(t *testing.T, url string, v any) []byte {
+	t.Helper()
+	status, body, err := tryPostJSON(url, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status >= 400 {
+		t.Fatalf("POST %s: %d %s", url, status, body)
+	}
+	return body
+}
+
+func decodeJSON[T any](t *testing.T, data []byte) T {
+	t.Helper()
+	var v T
+	if err := json.Unmarshal(data, &v); err != nil {
+		t.Fatalf("decoding %T from %q: %v", v, data, err)
+	}
+	return v
+}
+
+// instantClock makes every Clock.After fire immediately — retry loops and
+// heartbeat loops spin without wall-clock waits.
+type instantClock struct{}
+
+func (instantClock) Now() time.Time { return time.Unix(0, 0) }
+func (instantClock) After(time.Duration) <-chan time.Time {
+	ch := make(chan time.Time, 1)
+	ch <- time.Unix(0, 0)
+	return ch
+}
+
+// TestWorkerRegisterGivesUpOnUnreachableCoordinator: transport errors are
+// retried up to the limit, then surfaced.
+func TestWorkerRegisterGivesUpOnUnreachableCoordinator(t *testing.T) {
+	err := RunWorker(context.Background(), WorkerOptions{
+		// Port 1 refuses connections without a timeout.
+		CoordinatorURL: "http://127.0.0.1:1",
+		WorkerID:       "lost",
+		Clock:          instantClock{},
+	})
+	if err == nil || !strings.Contains(err.Error(), "unreachable") {
+		t.Fatalf("want unreachable error, got %v", err)
+	}
+}
+
+// TestWorkerRegisterHonorsCancel: a canceled context stops the retry loop.
+func TestWorkerRegisterHonorsCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := RunWorker(ctx, WorkerOptions{CoordinatorURL: "http://127.0.0.1:1", WorkerID: "canceled"})
+	if err == nil || !strings.Contains(err.Error(), "canceled") {
+		t.Fatalf("want cancellation error, got %v", err)
+	}
+}
+
+// TestWorkerRegisterStopsOnProtocolRejection: a coordinator that answers
+// with an HTTP error is not retried — the rejection is final.
+func TestWorkerRegisterStopsOnProtocolRejection(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "run is fully subscribed", http.StatusConflict)
+	}))
+	defer srv.Close()
+	err := RunWorker(context.Background(), WorkerOptions{CoordinatorURL: srv.URL, WorkerID: "late"})
+	if err == nil || !strings.Contains(err.Error(), "refused registration") {
+		t.Fatalf("want refused-registration error, got %v", err)
+	}
+}
+
+// TestWorkerRejectsMalformedAssignment: garbage and semantically invalid
+// assignments are both fatal before any schedule work happens.
+func TestWorkerRejectsMalformedAssignment(t *testing.T) {
+	for _, tc := range []struct {
+		name, body, want string
+	}{
+		{"garbage", `{{{`, "bad assignment"},
+		{"invalid", `{"run_id":"r","worker_index":0,"num_workers":0,"schedule_sha256":"x"}`, "malformed assignment"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				w.Header().Set("Content-Type", "application/json")
+				fmt.Fprint(w, tc.body)
+			}))
+			defer srv.Close()
+			err := RunWorker(context.Background(), WorkerOptions{CoordinatorURL: srv.URL, WorkerID: "w"})
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("want %q error, got %v", tc.want, err)
+			}
+		})
+	}
+}
+
+// TestWorkerTargetFailurePropagates: a worker that cannot build its target
+// reports the failure, and the coordinator fails the whole run with it.
+func TestWorkerTargetFailurePropagates(t *testing.T) {
+	sched := sliceTestSchedule(t)
+	coord, err := NewCoordinator(CoordinatorOptions{Schedule: sched, NumWorkers: 1, Deadline: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := httptest.NewServer(coord.Handler())
+	defer cs.Close()
+
+	wErr := RunWorker(context.Background(), WorkerOptions{
+		CoordinatorURL: cs.URL,
+		WorkerID:       "broken",
+		NewTarget: func(a *Assignment, sched *Schedule) (Target, error) {
+			return nil, fmt.Errorf("no such daemon")
+		},
+	})
+	if wErr == nil || !strings.Contains(wErr.Error(), "building target") {
+		t.Fatalf("worker error: %v", wErr)
+	}
+	_, waitErr := coord.Wait(context.Background())
+	if waitErr == nil || !strings.Contains(waitErr.Error(), "building target") {
+		t.Fatalf("coordinator did not surface the worker failure: %v", waitErr)
+	}
+}
+
+// TestWorkerDefaultTargetRequiresURL: without a NewTarget hook, an
+// assignment with no target URL is a loud failure.
+func TestWorkerDefaultTargetRequiresURL(t *testing.T) {
+	sched := sliceTestSchedule(t)
+	coord, err := NewCoordinator(CoordinatorOptions{Schedule: sched, NumWorkers: 1, Deadline: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := httptest.NewServer(coord.Handler())
+	defer cs.Close()
+	wErr := RunWorker(context.Background(), WorkerOptions{CoordinatorURL: cs.URL, WorkerID: "urlless"})
+	if wErr == nil || !strings.Contains(wErr.Error(), "no target URL") {
+		t.Fatalf("want no-target-URL error, got %v", wErr)
+	}
+}
+
+// TestWorkerOptionValidation: the two required options fail fast.
+func TestWorkerOptionValidation(t *testing.T) {
+	if err := RunWorker(context.Background(), WorkerOptions{WorkerID: "x"}); err == nil || !strings.Contains(err.Error(), "CoordinatorURL") {
+		t.Errorf("missing URL not rejected: %v", err)
+	}
+	if err := RunWorker(context.Background(), WorkerOptions{CoordinatorURL: "http://x"}); err == nil || !strings.Contains(err.Error(), "WorkerID") {
+		t.Errorf("missing id not rejected: %v", err)
+	}
+}
+
+// TestCoordinatorWaitHonorsCancel: canceling Wait's context fails the run.
+func TestCoordinatorWaitHonorsCancel(t *testing.T) {
+	sched := sliceTestSchedule(t)
+	coord, err := NewCoordinator(CoordinatorOptions{Schedule: sched, NumWorkers: 1, Deadline: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := coord.Wait(ctx); err == nil || !strings.Contains(err.Error(), "canceled") {
+		t.Fatalf("want cancellation error, got %v", err)
+	}
+	if coord.Err() == nil {
+		t.Fatal("cancellation did not poison the run")
+	}
+}
+
+// TestCoordinatorOptionValidation: required options fail fast.
+func TestCoordinatorOptionValidation(t *testing.T) {
+	if _, err := NewCoordinator(CoordinatorOptions{NumWorkers: 1}); err == nil {
+		t.Error("missing schedule not rejected")
+	}
+	if _, err := NewCoordinator(CoordinatorOptions{Schedule: sliceTestSchedule(t)}); err == nil {
+		t.Error("zero workers not rejected")
+	}
+}
+
+// TestCoordinatorReportBeforeCompletion: asking for the report mid-run is
+// an error, not a partial report.
+func TestCoordinatorReportBeforeCompletion(t *testing.T) {
+	coord, err := NewCoordinator(CoordinatorOptions{Schedule: sliceTestSchedule(t), NumWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := coord.Report(time.Time{}); err == nil || !strings.Contains(err.Error(), "in progress") {
+		t.Fatalf("want in-progress error, got %v", err)
+	}
+}
+
+// TestCoordinatorEndpointValidation walks the malformed-request surface of
+// every endpoint.
+func TestCoordinatorEndpointValidation(t *testing.T) {
+	sched := sliceTestSchedule(t)
+	coord, err := NewCoordinator(CoordinatorOptions{Schedule: sched, NumWorkers: 2, Deadline: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := httptest.NewServer(coord.Handler())
+	defer cs.Close()
+
+	post := func(path, body string) int {
+		t.Helper()
+		resp, err := http.Post(cs.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	for _, tc := range []struct {
+		name, path, body string
+		want             int
+	}{
+		{"control garbage", ControlPath, `{{{`, http.StatusBadRequest},
+		{"control no id", ControlPath, `{}`, http.StatusBadRequest},
+		{"heartbeat garbage", HeartbeatPath, `{{{`, http.StatusBadRequest},
+		{"heartbeat wrong run", HeartbeatPath, `{"run_id":"other","worker_id":"w"}`, http.StatusConflict},
+		{"heartbeat unknown worker", HeartbeatPath, fmt.Sprintf(`{"run_id":%q,"worker_id":"ghost"}`, coord.RunID()), http.StatusNotFound},
+		{"result garbage", ResultPath, `{{{`, http.StatusBadRequest},
+		{"result wrong run", ResultPath, `{"run_id":"other","worker_id":"w"}`, http.StatusConflict},
+		{"result unknown worker", ResultPath, fmt.Sprintf(`{"run_id":%q,"worker_id":"ghost"}`, coord.RunID()), http.StatusNotFound},
+	} {
+		if got := post(tc.path, tc.body); got != tc.want {
+			t.Errorf("%s: got %d, want %d", tc.name, got, tc.want)
+		}
+	}
+	if coord.Err() != nil {
+		t.Fatalf("malformed requests poisoned the run: %v", coord.Err())
+	}
+}
+
+// TestResultRepostIsAcknowledged: re-posting after a lost 204 is a no-op
+// ack and the run still completes exactly once.
+func TestResultRepostIsAcknowledged(t *testing.T) {
+	sched := sliceTestSchedule(t)
+	coord, err := NewCoordinator(CoordinatorOptions{Schedule: sched, NumWorkers: 1, Deadline: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := httptest.NewServer(coord.Handler())
+	defer cs.Close()
+
+	a := decodeJSON[Assignment](t, postJSON(t, cs.URL+ControlPath, ControlRequest{WorkerID: "re"}))
+	res := replayScripted(sched.Requests, sched.Config.Warmup)
+	res.ScheduleHash = sched.Hash
+	wr := buildWorkerResult(&a, "re", res)
+	postJSON(t, cs.URL+ResultPath, wr)
+	postJSON(t, cs.URL+ResultPath, wr) // the retry
+	merged, err := coord.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Overall.Requests != res.Overall.Requests {
+		t.Fatalf("repost double-counted: %d vs %d", merged.Overall.Requests, res.Overall.Requests)
+	}
+	// And the /report long-poll serves the merged result.
+	resp, err := http.Get(cs.URL + ReportPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var rep Report
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.ScheduleSHA256 != sched.Hash || len(rep.Workers) != 1 {
+		t.Fatalf("served report wrong: hash %.12s, %d workers", rep.ScheduleSHA256, len(rep.Workers))
+	}
+}
+
+// TestMergeRejectsCorruptStats: counter-sanity violations in a posted
+// result abort the merge.
+func TestMergeRejectsCorruptStats(t *testing.T) {
+	sched := sliceTestSchedule(t)
+	base := func() *WorkerResult {
+		res := replayScripted(sched.Requests, sched.Config.Warmup)
+		res.ScheduleHash = sched.Hash
+		return buildWorkerResult(&Assignment{RunID: "r", WorkerIndex: 0, NumWorkers: 1}, "w0", res)
+	}
+	corrupt := map[string]func(*WorkerResult){
+		"negative requests":      func(wr *WorkerResult) { wr.Overall.Requests = -1 },
+		"errors exceed requests": func(wr *WorkerResult) { wr.Overall.Errors = wr.Overall.Requests + 1 },
+		"nil overall":            func(wr *WorkerResult) { wr.Overall = nil },
+		"nil latency":            func(wr *WorkerResult) { wr.Overall.Latency = nil },
+		"negative warmup":        func(wr *WorkerResult) { wr.Warmed = -1 },
+		"corrupt kind stats":     func(wr *WorkerResult) { wr.ByKind[sortedWireKinds(wr.ByKind)[0]].Requests = -1 },
+	}
+	for name, mutate := range corrupt {
+		wr := base()
+		mutate(wr)
+		if _, err := MergeWorkerResults(sched, 1, []*WorkerResult{wr}); err == nil {
+			t.Errorf("%s: merge accepted corrupt stats", name)
+		}
+	}
+}
+
+// TestWorkerHeartbeatLoopSurvivesErrors: rejected and failed heartbeats
+// are logged and the loop keeps going until canceled.
+func TestWorkerHeartbeatLoopSurvivesErrors(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		serve bool
+	}{
+		{"rejected", true}, // server answers 404
+		{"transport", false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			url := "http://127.0.0.1:1"
+			if tc.serve {
+				srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+					http.Error(w, "unknown worker", http.StatusNotFound)
+				}))
+				defer srv.Close()
+				url = srv.URL
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			var logged sync.Once
+			w := &worker{opts: WorkerOptions{
+				CoordinatorURL:    url,
+				WorkerID:          "hb",
+				HTTP:              &http.Client{},
+				Clock:             instantClock{},
+				HeartbeatInterval: time.Millisecond,
+				Logf: func(format string, args ...any) {
+					logged.Do(cancel) // first logged failure ends the test
+				},
+			}}
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				w.heartbeatLoop(ctx, &Assignment{RunID: "r"})
+			}()
+			select {
+			case <-done:
+			case <-time.After(10 * time.Second):
+				t.Fatal("heartbeat loop did not log a failure and exit")
+			}
+		})
+	}
+}
+
+// workerCount reads the registered-worker count (test-only accessor).
+func (c *Coordinator) workerCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.workers)
+}
+
+// stepClock is a manually advanced clock for driving checkLiveness
+// deterministically.
+type stepClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *stepClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *stepClock) After(time.Duration) <-chan time.Time {
+	ch := make(chan time.Time, 1)
+	ch <- c.Now()
+	return ch
+}
+
+func (c *stepClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// TestCheckLivenessDeterministic drives every liveness branch with a
+// stepped clock instead of racing wall-clock ticks: healthy before the
+// barrier, healthy within the grace, dead past the grace, and dead past
+// the run deadline.
+func TestCheckLivenessDeterministic(t *testing.T) {
+	sched := sliceTestSchedule(t)
+	newCoord := func() (*Coordinator, *stepClock) {
+		sc := &stepClock{t: time.Unix(1000, 0)}
+		coord, err := NewCoordinator(CoordinatorOptions{
+			Schedule:       sched,
+			NumWorkers:     2,
+			Deadline:       time.Minute,
+			HeartbeatGrace: 5 * time.Second,
+			Clock:          sc,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return coord, sc
+	}
+
+	t.Run("pre-barrier silence is fine", func(t *testing.T) {
+		coord, sc := newCoord()
+		cs := httptest.NewServer(coord.Handler())
+		defer cs.Close()
+		go tryPostJSON(cs.URL+ControlPath, ControlRequest{WorkerID: "w0"}) // 1 of 2: barrier stays up
+		for coord.workerCount() == 0 {
+			time.Sleep(time.Millisecond)
+		}
+		sc.advance(30 * time.Second) // far past the grace, inside the deadline
+		if err := coord.checkLiveness(); err != nil {
+			t.Fatalf("pre-barrier staleness failed the run: %v", err)
+		}
+		// Release the held /control long-poll so the deferred server Close
+		// (which waits for in-flight requests) can finish.
+		coord.fail(fmt.Errorf("test teardown"))
+	})
+
+	t.Run("post-barrier silence past grace fails", func(t *testing.T) {
+		coord, sc := newCoord()
+		cs := httptest.NewServer(coord.Handler())
+		defer cs.Close()
+		var wg sync.WaitGroup
+		for _, id := range []string{"w0", "w1"} {
+			wg.Add(1)
+			go func(id string) {
+				defer wg.Done()
+				tryPostJSON(cs.URL+ControlPath, ControlRequest{WorkerID: id})
+			}(id)
+		}
+		wg.Wait() // barrier released: both assignments answered
+		sc.advance(4 * time.Second)
+		if err := coord.checkLiveness(); err != nil {
+			t.Fatalf("silence inside the grace failed the run: %v", err)
+		}
+		sc.advance(2 * time.Second)
+		err := coord.checkLiveness()
+		if err == nil || !strings.Contains(err.Error(), "presumed dead") {
+			t.Fatalf("want presumed-dead failure, got %v", err)
+		}
+		// Sticky: asking again reports the same failure.
+		if again := coord.checkLiveness(); again == nil || again.Error() != err.Error() {
+			t.Fatalf("failure not sticky: %v", again)
+		}
+	})
+
+	t.Run("deadline fails even pre-barrier", func(t *testing.T) {
+		coord, sc := newCoord()
+		sc.advance(2 * time.Minute)
+		err := coord.checkLiveness()
+		if err == nil || !strings.Contains(err.Error(), "partial coverage") {
+			t.Fatalf("want deadline failure, got %v", err)
+		}
+	})
+}
+
+// TestWorkerPostResultSurfacesRejection: posting to a run that already
+// failed surfaces the coordinator's rejection.
+func TestWorkerPostResultSurfacesRejection(t *testing.T) {
+	sched := sliceTestSchedule(t)
+	coord, err := NewCoordinator(CoordinatorOptions{Schedule: sched, NumWorkers: 1, Deadline: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := httptest.NewServer(coord.Handler())
+	defer cs.Close()
+	a := decodeJSON[Assignment](t, postJSON(t, cs.URL+ControlPath, ControlRequest{WorkerID: "rejectee"}))
+	coord.fail(fmt.Errorf("poisoned by test"))
+	w := &worker{opts: WorkerOptions{CoordinatorURL: cs.URL, WorkerID: "rejectee", HTTP: &http.Client{}, Logf: func(string, ...any) {}}}
+	res := replayScripted(sched.Requests, sched.Config.Warmup)
+	res.ScheduleHash = sched.Hash
+	err = w.postResult(context.Background(), buildWorkerResult(&a, "rejectee", res))
+	if err == nil || !strings.Contains(err.Error(), "rejected result") {
+		t.Fatalf("want rejected-result error, got %v", err)
+	}
+}
+
+// TestNewHTTPTargetShape: the HTTP target constructor normalizes its base
+// URL and yields a usable client.
+func TestNewHTTPTargetShape(t *testing.T) {
+	ct := NewHTTPTarget("http://example.invalid/")
+	if ct == nil || ct.Client == nil {
+		t.Fatal("NewHTTPTarget returned an unusable target")
+	}
+}
+
+// TestWriteJSONErrorPath: an unwritable path is an error, not a panic.
+func TestWriteJSONErrorPath(t *testing.T) {
+	sched := sliceTestSchedule(t)
+	res := replayScripted(sched.Requests, sched.Config.Warmup)
+	res.ScheduleHash = sched.Hash
+	rep := BuildReport(sched.Config, "x", res, time.Time{})
+	if err := rep.WriteJSON("/nonexistent-dir-for-test/report.json"); err == nil {
+		t.Fatal("writing into a missing directory succeeded")
+	}
+}

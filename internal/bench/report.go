@@ -27,7 +27,13 @@ import (
 // one whole session (create → observe/quote steps → finish) and its
 // latency is the session wall time, so v2 latency baselines are not
 // comparable.
-const SchemaVersion = 3
+//
+// v4: distributed runs — the report gains an optional `workers` block (one
+// entry per worker process of a coordinator/worker run; totals and
+// percentiles are the merged whole). Single-process reports carry no
+// workers block and are otherwise identical to v3, so every metric keeps
+// its meaning and -baseline comparison works unchanged on merged reports.
+const SchemaVersion = 4
 
 // LatencySummary is the percentile digest of one latency histogram, in
 // milliseconds. Successful requests only — errors are counted, not timed.
@@ -144,7 +150,25 @@ type Report struct {
 	Latency   LatencySummary            `json:"latency"`
 	Endpoints map[string]EndpointReport `json:"endpoints"`
 
+	// Workers is present on distributed (coordinator/worker) runs only:
+	// one entry per worker process, ordered by worker index. The report's
+	// totals and percentiles are the merged whole; this block shows how
+	// evenly the slices landed.
+	Workers []WorkerReport `json:"workers,omitempty"`
+
 	ErrorSamples []string `json:"error_samples,omitempty"`
+}
+
+// WorkerReport summarizes one worker process's slice of a distributed run.
+type WorkerReport struct {
+	Index           int            `json:"index"`
+	WorkerID        string         `json:"worker_id,omitempty"`
+	Requests        int64          `json:"requests"`
+	Errors          int64          `json:"errors"`
+	Rejected        int64          `json:"rejected"`
+	WarmupRequests  int64          `json:"warmup_requests"`
+	DurationSeconds float64        `json:"duration_seconds"`
+	Latency         LatencySummary `json:"latency"`
 }
 
 // BuildReport digests a run into the serializable report. now stamps the
@@ -224,7 +248,9 @@ func ReadReport(path string) (*Report, error) {
 		return nil, fmt.Errorf("bench: %s: %w", path, err)
 	}
 	if rep.SchemaVersion != SchemaVersion {
-		return nil, fmt.Errorf("bench: %s has schema version %d, this binary expects %d", path, rep.SchemaVersion, SchemaVersion)
+		// A silent miscompare across schema versions would gate CI on
+		// metrics whose meaning changed; name the fix instead.
+		return nil, fmt.Errorf("bench: %s has schema version %d, this binary expects %d — metrics are not comparable across versions; regenerate the baseline with this binary (the bench.SchemaVersion doc lists what changed)", path, rep.SchemaVersion, SchemaVersion)
 	}
 	return &rep, nil
 }
@@ -264,6 +290,18 @@ func (r *Report) Table() string {
 		row(kind, ep.Requests, ep.Errors, ep.Rejected, ep.CacheHitRatio, ep.Latency)
 	}
 	w.Flush()
+	if len(r.Workers) > 0 {
+		fmt.Fprintf(&b, "distributed: %d workers\n", len(r.Workers))
+		for _, wr := range r.Workers {
+			id := wr.WorkerID
+			if id != "" {
+				id = " (" + id + ")"
+			}
+			fmt.Fprintf(&b, "  worker %d%s: %d reqs · err %d · rej %d · p99 %s · %.1fs\n",
+				wr.Index, id, wr.Requests, wr.Errors, wr.Rejected,
+				fmtMillis(wr.Latency.P99Millis), wr.DurationSeconds)
+		}
+	}
 	if len(r.ErrorSamples) > 0 {
 		fmt.Fprintf(&b, "error samples:\n")
 		for _, s := range r.ErrorSamples {

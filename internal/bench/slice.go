@@ -1,0 +1,33 @@
+package bench
+
+import "fmt"
+
+// SliceSchedule returns worker `index`'s slice of a schedule partitioned
+// round-robin over `numWorkers` workers by event index: worker w owns
+// requests 0·n+w, 1·n+w, 2·n+w, …
+//
+// Round-robin by event index (rather than contiguous time blocks) keeps
+// every slice statistically identical to a thinned copy of the full NHPP
+// process: each worker's arrivals still span the whole run window at 1/n
+// of the rate, so every slice stays open-loop and coordinated-omission-safe
+// on its own, and the warmup cutoff applies to each worker exactly as it
+// does to the whole.
+//
+// Requests keep their absolute At offsets and full problem bodies; the
+// slice's Hash remains the full schedule's hash — the workload identity the
+// coordinator verifies across workers — not a per-slice digest. The
+// partition is exact and disjoint: the union of all numWorkers slices,
+// re-interleaved by event index, is the original request sequence.
+func SliceSchedule(sched *Schedule, index, numWorkers int) (*Schedule, error) {
+	if numWorkers <= 0 {
+		return nil, fmt.Errorf("bench: numWorkers must be positive, got %d", numWorkers)
+	}
+	if index < 0 || index >= numWorkers {
+		return nil, fmt.Errorf("bench: worker index %d outside [0, %d)", index, numWorkers)
+	}
+	reqs := make([]Request, 0, (len(sched.Requests)-index+numWorkers-1)/numWorkers)
+	for i := index; i < len(sched.Requests); i += numWorkers {
+		reqs = append(reqs, sched.Requests[i])
+	}
+	return &Schedule{Config: sched.Config, Requests: reqs, Hash: sched.Hash}, nil
+}

@@ -1,0 +1,164 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func sliceTestSchedule(t *testing.T) *Schedule {
+	t.Helper()
+	cfg := Config{
+		Seed:        3,
+		Rate:        300,
+		Duration:    900 * time.Millisecond,
+		Warmup:      100 * time.Millisecond,
+		Cardinality: 4,
+		Mix:         Mix{KindDeadline: 4, KindBudget: 3, KindTradeoff: 2, KindMulti: 1},
+	}
+	sched, err := GenerateSchedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched.Requests) < 50 {
+		t.Fatalf("schedule too thin for partition tests: %d requests", len(sched.Requests))
+	}
+	return sched
+}
+
+// TestSlicePartitionUnionReproducesSchedule: for worker counts 1, 2, and 4,
+// the slices are disjoint, cover every event exactly once, and their
+// round-robin re-interleaving rebuilds the original request sequence — so
+// the union hashes to the full schedule's SHA-256.
+func TestSlicePartitionUnionReproducesSchedule(t *testing.T) {
+	sched := sliceTestSchedule(t)
+	for _, n := range []int{1, 2, 4} {
+		slices := make([]*Schedule, n)
+		total := 0
+		for w := 0; w < n; w++ {
+			s, err := SliceSchedule(sched, w, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s.Hash != sched.Hash {
+				t.Fatalf("n=%d worker %d: slice hash %.12s differs from schedule hash %.12s", n, w, s.Hash, sched.Hash)
+			}
+			slices[w] = s
+			total += len(s.Requests)
+		}
+		if total != len(sched.Requests) {
+			t.Fatalf("n=%d: slices cover %d events, schedule has %d", n, total, len(sched.Requests))
+		}
+		// Re-interleave: event i of the full schedule is event i/n of
+		// slice i%n. Any double assignment or gap breaks the equality.
+		merged := make([]Request, 0, total)
+		for i := 0; i < len(sched.Requests); i++ {
+			s := slices[i%n]
+			if i/n >= len(s.Requests) {
+				t.Fatalf("n=%d: slice %d too short for event %d", n, i%n, i)
+			}
+			merged = append(merged, s.Requests[i/n])
+		}
+		if !reflect.DeepEqual(merged, sched.Requests) {
+			t.Fatalf("n=%d: re-interleaved slices differ from the original schedule", n)
+		}
+		if got := hashSchedule(sched.Config, merged); got != sched.Hash {
+			t.Fatalf("n=%d: union hash %.12s != schedule hash %.12s", n, got, sched.Hash)
+		}
+	}
+}
+
+// TestSliceNoEventAssignedTwice: across all slices of one partition, every
+// (At, Kind, ProblemID) position is owned by exactly one worker.
+func TestSliceNoEventAssignedTwice(t *testing.T) {
+	sched := sliceTestSchedule(t)
+	const n = 4
+	type key struct {
+		at   time.Duration
+		kind string
+		id   int
+		occ  int // occurrence index, in case two events share a tuple
+	}
+	seen := map[key]int{}
+	occ := map[key]int{}
+	for w := 0; w < n; w++ {
+		s, err := SliceSchedule(sched, w, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range s.Requests {
+			base := key{at: q.At, kind: q.Kind, id: q.ProblemID}
+			k := base
+			k.occ = occ[base]
+			occ[base]++
+			if prior, dup := seen[k]; dup {
+				t.Fatalf("event %+v assigned to workers %d and %d", k, prior, w)
+			}
+			seen[k] = w
+		}
+	}
+	if len(seen) != len(sched.Requests) {
+		t.Fatalf("union holds %d events, schedule has %d", len(seen), len(sched.Requests))
+	}
+}
+
+// TestSliceDeterministic: slicing is a pure function — same schedule, same
+// partition, byte-identical slices — and a 1-worker partition is the
+// schedule itself.
+func TestSliceDeterministic(t *testing.T) {
+	sched := sliceTestSchedule(t)
+	a, err := SliceSchedule(sched, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SliceSchedule(sched, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same partition produced different slices")
+	}
+	whole, err := SliceSchedule(sched, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(whole.Requests, sched.Requests) || whole.Hash != sched.Hash {
+		t.Fatal("1-worker slice is not the whole schedule")
+	}
+}
+
+func TestSliceValidation(t *testing.T) {
+	sched := sliceTestSchedule(t)
+	for _, tc := range []struct{ index, n int }{
+		{0, 0}, {0, -1}, {-1, 2}, {2, 2}, {5, 3},
+	} {
+		if _, err := SliceSchedule(sched, tc.index, tc.n); err == nil {
+			t.Errorf("SliceSchedule(%d, %d) accepted", tc.index, tc.n)
+		}
+	}
+}
+
+// TestSliceCampaignScenario: campaign-session schedules partition the same
+// way — each sliced request keeps its full observation script.
+func TestSliceCampaignScenario(t *testing.T) {
+	cfg := Config{
+		Seed:          5,
+		Rate:          60,
+		Duration:      time.Second,
+		Scenario:      ScenarioCampaign,
+		CampaignSteps: 3,
+	}
+	sched, err := GenerateSchedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := SliceSchedule(sched, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range s.Requests {
+		if q.Steps != 3 || len(q.StepArrivals) != 3 || len(q.StepShares) != 3 {
+			t.Fatalf("sliced campaign request %d lost its session script: %+v", i, q)
+		}
+	}
+}

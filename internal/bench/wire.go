@@ -1,0 +1,257 @@
+package bench
+
+// The distributed benchmark's wire protocol. One coordinator process owns
+// the full NHPP schedule; N worker processes each replay a deterministic
+// round-robin slice of it against the shared target daemon and post back
+// their measurements. The protocol is deliberately tiny — three POSTs and a
+// long-poll GET, all JSON — in the spirit of the lightstep-benchmarks
+// controller/client pattern:
+//
+//	POST /control    {worker_id}            → Assignment (long-poll: the
+//	                 response is held until every expected worker has
+//	                 registered, so all slices start together)
+//	POST /heartbeat  {run_id, worker_id}    → 204 (liveness while running)
+//	POST /result     WorkerResult           → 204 (slice measurements)
+//	GET  /report     → merged Report JSON (long-poll until the run
+//	                 completes; 500 with the failure text if it failed)
+//
+// An Assignment carries the benchmark Config, not the materialized
+// schedule: GaoP14's arrival model is a seeded, deterministic NHPP draw, so
+// each worker regenerates the identical schedule locally and verifies its
+// SHA-256 against the coordinator's before replaying a single request. The
+// hash check makes version skew or nondeterminism a loud pre-run failure
+// instead of a silently different workload.
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"crowdpricing/internal/hdr"
+)
+
+// Protocol endpoint paths served by Coordinator.Handler.
+const (
+	ControlPath   = "/control"
+	HeartbeatPath = "/heartbeat"
+	ResultPath    = "/result"
+	ReportPath    = "/report"
+)
+
+// ControlRequest is a worker's registration, POSTed to /control.
+// Re-registering with the same WorkerID is idempotent (same assignment), so
+// a worker whose long-poll connection drops can simply retry.
+type ControlRequest struct {
+	WorkerID string `json:"worker_id"`
+}
+
+// Assignment is the coordinator's reply to /control: everything a worker
+// needs to regenerate the schedule, verify it, slice it, and run its slice.
+type Assignment struct {
+	// RunID identifies the run; derived from the schedule hash, so it is
+	// stable across coordinator restarts of the same workload.
+	RunID string `json:"run_id"`
+	// WorkerIndex and NumWorkers pin this worker's round-robin slice.
+	WorkerIndex int `json:"worker_index"`
+	NumWorkers  int `json:"num_workers"`
+	// Config regenerates the full schedule deterministically worker-side.
+	Config Config `json:"config"`
+	// ScheduleSHA256 is the coordinator's schedule hash; the worker must
+	// reproduce it exactly or refuse to run.
+	ScheduleSHA256 string `json:"schedule_sha256"`
+	// TargetURL is the daemon every worker drives.
+	TargetURL string `json:"target_url"`
+	// MaxConcurrent caps each worker's in-flight requests (0 = runner
+	// default).
+	MaxConcurrent int `json:"max_concurrent,omitempty"`
+}
+
+// HeartbeatRequest is a worker liveness ping, POSTed to /heartbeat while
+// its slice is running.
+type HeartbeatRequest struct {
+	RunID    string `json:"run_id"`
+	WorkerID string `json:"worker_id"`
+}
+
+// WireStats is KindStats in wire form: exact counters plus the latency
+// histogram as a canonical hdr snapshot.
+type WireStats struct {
+	Requests  int64         `json:"requests"`
+	Errors    int64         `json:"errors"`
+	Rejected  int64         `json:"rejected"`
+	CacheHits int64         `json:"cache_hits"`
+	Latency   *hdr.Snapshot `json:"latency"`
+}
+
+// WorkerResult is one worker's posted slice outcome.
+type WorkerResult struct {
+	RunID          string `json:"run_id"`
+	WorkerID       string `json:"worker_id"`
+	WorkerIndex    int    `json:"worker_index"`
+	ScheduleSHA256 string `json:"schedule_sha256"`
+	// Failure, when non-empty, reports that the worker could not complete
+	// its slice (hash mismatch, canceled run, target unreachable). A
+	// failure result fails the whole run loudly — a distributed run never
+	// degrades into silently partial coverage.
+	Failure string `json:"failure,omitempty"`
+
+	Warmed       int64                 `json:"warmup_requests"`
+	ElapsedNanos int64                 `json:"elapsed_ns"`
+	Overall      *WireStats            `json:"overall"`
+	ByKind       map[string]*WireStats `json:"by_kind"`
+	ErrorSamples []string              `json:"error_samples,omitempty"`
+}
+
+// statsToWire snapshots one KindStats for the wire.
+func statsToWire(ks *KindStats) *WireStats {
+	return &WireStats{
+		Requests:  ks.Requests,
+		Errors:    ks.Errors,
+		Rejected:  ks.Rejected,
+		CacheHits: ks.CacheHits,
+		Latency:   ks.Latency.Snapshot(),
+	}
+}
+
+// buildWorkerResult converts a completed runner Result into wire form.
+// Kinds the slice never exercised are omitted from ByKind.
+func buildWorkerResult(a *Assignment, workerID string, res *Result) *WorkerResult {
+	wr := &WorkerResult{
+		RunID:          a.RunID,
+		WorkerID:       workerID,
+		WorkerIndex:    a.WorkerIndex,
+		ScheduleSHA256: res.ScheduleHash,
+		Warmed:         res.Warmed,
+		ElapsedNanos:   int64(res.Elapsed),
+		Overall:        statsToWire(res.Overall),
+		ByKind:         make(map[string]*WireStats, len(res.ByKind)),
+		ErrorSamples:   res.ErrorSamples,
+	}
+	for _, kind := range sortedStatKinds(res.ByKind) {
+		if ks := res.ByKind[kind]; ks.Requests > 0 {
+			wr.ByKind[kind] = statsToWire(ks)
+		}
+	}
+	return wr
+}
+
+func sortedStatKinds(m map[string]*KindStats) []string {
+	names := make([]string, 0, len(m))
+	for k := range m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func sortedWireKinds(m map[string]*WireStats) []string {
+	names := make([]string, 0, len(m))
+	for k := range m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// mergeWireStats folds one worker's wire stats into an accumulating
+// KindStats. The snapshot is validated before a single counter moves, so a
+// corrupt post cannot half-apply.
+func mergeWireStats(ks *KindStats, ws *WireStats) error {
+	if ws == nil {
+		return fmt.Errorf("missing stats block")
+	}
+	if ws.Requests < 0 || ws.Errors < 0 || ws.Rejected < 0 || ws.CacheHits < 0 {
+		return fmt.Errorf("negative counters (requests=%d errors=%d rejected=%d hits=%d)",
+			ws.Requests, ws.Errors, ws.Rejected, ws.CacheHits)
+	}
+	if ws.Errors+ws.Rejected > ws.Requests {
+		return fmt.Errorf("errors %d + rejections %d exceed requests %d", ws.Errors, ws.Rejected, ws.Requests)
+	}
+	// hdr.MergeSnapshot tolerates nil, but on the wire a missing histogram
+	// means samples were dropped somewhere — refuse it.
+	if ws.Latency == nil {
+		return fmt.Errorf("missing latency snapshot")
+	}
+	if err := ks.Latency.MergeSnapshot(ws.Latency); err != nil {
+		return err
+	}
+	ks.Requests += ws.Requests
+	ks.Errors += ws.Errors
+	ks.Rejected += ws.Rejected
+	ks.CacheHits += ws.CacheHits
+	return nil
+}
+
+// MergeWorkerResults reassembles the full run from every worker's slice
+// result: counters sum, hdr histograms merge slot-wise (the merged
+// percentiles are bucket-for-bucket what a single process replaying the
+// whole schedule would have measured over the same latency samples), the
+// elapsed window is the slowest worker's, and error samples keep their
+// worker index.
+//
+// Coverage is verified, never assumed: exactly numWorkers results, every
+// worker index 0..n−1 present exactly once, every result replaying the
+// coordinator's schedule hash, no failure reports, and the summed
+// warmup+measured totals accounting for every scheduled event. Anything
+// less is an error — a merged report is complete or it does not exist.
+func MergeWorkerResults(sched *Schedule, numWorkers int, results []*WorkerResult) (*Result, error) {
+	if numWorkers <= 0 {
+		return nil, fmt.Errorf("bench: numWorkers must be positive, got %d", numWorkers)
+	}
+	if len(results) != numWorkers {
+		return nil, fmt.Errorf("bench: %d of %d worker results present — refusing to merge partial coverage", len(results), numWorkers)
+	}
+	ordered := append([]*WorkerResult(nil), results...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].WorkerIndex < ordered[j].WorkerIndex })
+
+	merged := &Result{
+		ScheduleHash: sched.Hash,
+		Overall:      &KindStats{Latency: hdr.New()},
+		ByKind:       make(map[string]*KindStats, len(Kinds)),
+	}
+	for _, k := range Kinds {
+		merged.ByKind[k] = &KindStats{Latency: hdr.New()}
+	}
+	var elapsed int64
+	for i, wr := range ordered {
+		if wr.Failure != "" {
+			return nil, fmt.Errorf("bench: worker %d (%s) failed: %s", wr.WorkerIndex, wr.WorkerID, wr.Failure)
+		}
+		if wr.WorkerIndex != i {
+			return nil, fmt.Errorf("bench: worker indexes do not cover 0..%d exactly once (saw %d twice or missing %d)", numWorkers-1, wr.WorkerIndex, i)
+		}
+		if wr.ScheduleSHA256 != sched.Hash {
+			return nil, fmt.Errorf("bench: worker %d replayed schedule %.12s…, coordinator generated %.12s… — different workloads, refusing to merge", wr.WorkerIndex, wr.ScheduleSHA256, sched.Hash)
+		}
+		if err := mergeWireStats(merged.Overall, wr.Overall); err != nil {
+			return nil, fmt.Errorf("bench: worker %d overall stats: %w", wr.WorkerIndex, err)
+		}
+		for _, kind := range sortedWireKinds(wr.ByKind) {
+			ks, ok := merged.ByKind[kind]
+			if !ok {
+				ks = &KindStats{Latency: hdr.New()}
+				merged.ByKind[kind] = ks
+			}
+			if err := mergeWireStats(ks, wr.ByKind[kind]); err != nil {
+				return nil, fmt.Errorf("bench: worker %d kind %q stats: %w", wr.WorkerIndex, kind, err)
+			}
+		}
+		if wr.Warmed < 0 {
+			return nil, fmt.Errorf("bench: worker %d reports negative warmup count %d", wr.WorkerIndex, wr.Warmed)
+		}
+		merged.Warmed += wr.Warmed
+		if wr.ElapsedNanos > elapsed {
+			elapsed = wr.ElapsedNanos
+		}
+		for _, s := range wr.ErrorSamples {
+			if len(merged.ErrorSamples) < maxErrorSamples {
+				merged.ErrorSamples = append(merged.ErrorSamples, fmt.Sprintf("worker %d: %s", wr.WorkerIndex, s))
+			}
+		}
+	}
+	merged.Elapsed = time.Duration(elapsed)
+	if covered := merged.Overall.Requests + merged.Warmed; covered != int64(len(sched.Requests)) {
+		return nil, fmt.Errorf("bench: merged run accounts for %d of %d scheduled events — a worker under-reported, refusing to report partial coverage", covered, len(sched.Requests))
+	}
+	return merged, nil
+}

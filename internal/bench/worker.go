@@ -1,0 +1,258 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// registerRetryInterval paces a worker's /control retries while the
+// coordinator is still coming up.
+const registerRetryInterval = 500 * time.Millisecond
+
+// registerRetryLimit bounds how many connection-refused /control attempts a
+// worker makes before giving up (≈30 s at the retry interval).
+const registerRetryLimit = 60
+
+// WorkerOptions configures one worker process of a distributed run.
+type WorkerOptions struct {
+	// CoordinatorURL is the coordinator's base URL. Required.
+	CoordinatorURL string
+	// WorkerID identifies this worker to the coordinator; registration is
+	// idempotent per id. Required.
+	WorkerID string
+	// HTTP overrides the protocol client (nil = a fresh no-timeout client;
+	// /control long-polls, so per-client timeouts would sever the barrier).
+	HTTP *http.Client
+	// Clock overrides the time source (nil = wall clock).
+	Clock Clock
+	// HeartbeatInterval overrides DefaultHeartbeatInterval (0 = default).
+	HeartbeatInterval time.Duration
+	// MaxConcurrent overrides the assignment's in-flight cap when > 0.
+	MaxConcurrent int
+	// NewTarget builds the Target for an assignment. Nil uses the real
+	// thing: an HTTP target at assignment.TargetURL, scenario-matched via
+	// NewTargetFor. Tests inject in-process targets here.
+	NewTarget func(a *Assignment, sched *Schedule) (Target, error)
+	// Logf receives progress lines (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+// RunWorker runs the worker side of a distributed benchmark: register with
+// the coordinator, receive the slice assignment, regenerate the schedule
+// from its seeded config, verify the schedule hash bit-for-bit, replay the
+// assigned round-robin slice with the standard runner, and post back the
+// serialized histograms and totals.
+//
+// Any failure after assignment — hash mismatch, target construction, a
+// canceled or errored run — is reported to the coordinator as a failure
+// result (failing the whole run loudly) and returned.
+func RunWorker(ctx context.Context, opts WorkerOptions) error {
+	if opts.CoordinatorURL == "" {
+		return fmt.Errorf("bench: WorkerOptions.CoordinatorURL is required")
+	}
+	if opts.WorkerID == "" {
+		return fmt.Errorf("bench: WorkerOptions.WorkerID is required")
+	}
+	if opts.Clock == nil {
+		opts.Clock = wallClock
+	}
+	if opts.HeartbeatInterval <= 0 {
+		opts.HeartbeatInterval = DefaultHeartbeatInterval
+	}
+	if opts.HTTP == nil {
+		opts.HTTP = &http.Client{}
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	w := &worker{opts: opts}
+
+	a, err := w.register(ctx)
+	if err != nil {
+		return err
+	}
+	opts.Logf("assigned slice %d/%d of schedule %.12s… (target %s)", a.WorkerIndex, a.NumWorkers, a.ScheduleSHA256, a.TargetURL)
+
+	sched, err := GenerateSchedule(a.Config)
+	if err != nil {
+		return w.failRun(a, fmt.Sprintf("regenerating schedule: %v", err))
+	}
+	if sched.Hash != a.ScheduleSHA256 {
+		return w.failRun(a, fmt.Sprintf("schedule hash mismatch: generated %s, assigned %s — version skew between coordinator and worker binaries, or nondeterminism", sched.Hash, a.ScheduleSHA256))
+	}
+	slice, err := SliceSchedule(sched, a.WorkerIndex, a.NumWorkers)
+	if err != nil {
+		return w.failRun(a, err.Error())
+	}
+
+	newTarget := opts.NewTarget
+	if newTarget == nil {
+		newTarget = func(a *Assignment, sched *Schedule) (Target, error) {
+			if a.TargetURL == "" {
+				return nil, fmt.Errorf("assignment names no target URL")
+			}
+			return NewTargetFor(sched, NewHTTPTarget(a.TargetURL).Client), nil
+		}
+	}
+	target, err := newTarget(a, sched)
+	if err != nil {
+		return w.failRun(a, fmt.Sprintf("building target: %v", err))
+	}
+
+	maxConc := a.MaxConcurrent
+	if opts.MaxConcurrent > 0 {
+		maxConc = opts.MaxConcurrent
+	}
+
+	// Heartbeat while the slice runs, so the coordinator can tell a slow
+	// run from a dead worker.
+	hbCtx, stopHB := context.WithCancel(ctx)
+	var hbWG sync.WaitGroup
+	hbWG.Add(1)
+	go func() {
+		defer hbWG.Done()
+		w.heartbeatLoop(hbCtx, a)
+	}()
+
+	opts.Logf("replaying %d of %d scheduled requests", len(slice.Requests), len(sched.Requests))
+	res, runErr := Run(ctx, slice, RunOptions{Target: target, MaxConcurrent: maxConc, Clock: opts.Clock})
+	stopHB()
+	hbWG.Wait()
+	if runErr != nil {
+		return w.failRun(a, fmt.Sprintf("run failed: %v", runErr))
+	}
+
+	wr := buildWorkerResult(a, opts.WorkerID, res)
+	if err := w.postResult(ctx, wr); err != nil {
+		return err
+	}
+	opts.Logf("slice complete: %d measured requests (%d errors, %d rejected), result posted", res.Overall.Requests, res.Overall.Errors, res.Overall.Rejected)
+	return nil
+}
+
+// worker bundles the protocol client state.
+type worker struct {
+	opts WorkerOptions
+}
+
+// register POSTs /control until the coordinator answers with an
+// assignment, retrying transport errors (the coordinator may still be
+// binding its listener) but not protocol rejections.
+func (w *worker) register(ctx context.Context) (*Assignment, error) {
+	body, err := json.Marshal(ControlRequest{WorkerID: w.opts.WorkerID})
+	if err != nil {
+		return nil, err
+	}
+	for attempt := 0; ; attempt++ {
+		status, resp, err := w.post(ctx, ControlPath, body)
+		if err == nil && status == http.StatusOK {
+			var a Assignment
+			if err := json.Unmarshal(resp, &a); err != nil {
+				return nil, fmt.Errorf("bench: bad assignment from coordinator: %w", err)
+			}
+			if a.NumWorkers < 1 || a.WorkerIndex < 0 || a.WorkerIndex >= a.NumWorkers || a.ScheduleSHA256 == "" {
+				return nil, fmt.Errorf("bench: malformed assignment %+v", a)
+			}
+			return &a, nil
+		}
+		if err == nil {
+			return nil, fmt.Errorf("bench: coordinator refused registration: %d %s", status, bytes.TrimSpace(resp))
+		}
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("bench: registration canceled: %w", ctx.Err())
+		}
+		if attempt >= registerRetryLimit {
+			return nil, fmt.Errorf("bench: coordinator unreachable after %d attempts: %w", attempt+1, err)
+		}
+		w.opts.Logf("coordinator not reachable yet (%v), retrying", err)
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("bench: registration canceled: %w", ctx.Err())
+		case <-w.opts.Clock.After(registerRetryInterval):
+		}
+	}
+}
+
+// heartbeatLoop pings /heartbeat every HeartbeatInterval until ctx ends.
+// Send errors are logged, not fatal — the coordinator is the judge of
+// liveness, and a transient drop inside the grace window is survivable.
+func (w *worker) heartbeatLoop(ctx context.Context, a *Assignment) {
+	body, err := json.Marshal(HeartbeatRequest{RunID: a.RunID, WorkerID: w.opts.WorkerID})
+	if err != nil {
+		return
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-w.opts.Clock.After(w.opts.HeartbeatInterval):
+		}
+		if status, resp, err := w.post(ctx, HeartbeatPath, body); err != nil {
+			w.opts.Logf("heartbeat failed: %v", err)
+		} else if status != http.StatusNoContent {
+			w.opts.Logf("heartbeat rejected: %d %s", status, bytes.TrimSpace(resp))
+		}
+	}
+}
+
+// failRun reports a failure result to the coordinator (so the whole run
+// fails loudly, not by timeout) and returns the failure as an error.
+func (w *worker) failRun(a *Assignment, msg string) error {
+	w.opts.Logf("failing run: %s", msg)
+	wr := &WorkerResult{
+		RunID:          a.RunID,
+		WorkerID:       w.opts.WorkerID,
+		WorkerIndex:    a.WorkerIndex,
+		ScheduleSHA256: a.ScheduleSHA256,
+		Failure:        msg,
+	}
+	// The surrounding context may already be canceled — the failure post
+	// rides its own short deadline so the coordinator still hears about it.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := w.postResult(ctx, wr); err != nil {
+		w.opts.Logf("could not deliver failure result: %v", err)
+	}
+	return fmt.Errorf("bench: worker %s: %s", w.opts.WorkerID, msg)
+}
+
+// postResult delivers a WorkerResult, surfacing coordinator rejections.
+func (w *worker) postResult(ctx context.Context, wr *WorkerResult) error {
+	body, err := json.Marshal(wr)
+	if err != nil {
+		return err
+	}
+	status, resp, err := w.post(ctx, ResultPath, body)
+	if err != nil {
+		return fmt.Errorf("bench: posting result: %w", err)
+	}
+	if status != http.StatusNoContent {
+		return fmt.Errorf("bench: coordinator rejected result: %d %s", status, bytes.TrimSpace(resp))
+	}
+	return nil
+}
+
+// post issues one JSON POST to a coordinator endpoint.
+func (w *worker) post(ctx context.Context, path string, body []byte) (int, []byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.opts.CoordinatorURL+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.opts.HTTP.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxWireBody))
+	if err != nil {
+		return resp.StatusCode, nil, err
+	}
+	return resp.StatusCode, data, nil
+}

@@ -1,0 +1,195 @@
+package hdr
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Snapshot is a Histogram in canonical wire form: the occupied slots as a
+// sparse, strictly ascending bucket list plus the exact count/sum/min/max.
+// It is the unit the distributed benchmark ships between processes — a
+// worker snapshots its histograms, posts them as JSON, and the coordinator
+// merges the decoded snapshots into one instrument.
+//
+// The form is canonical: for any given histogram state there is exactly one
+// valid Snapshot (buckets sorted by slot, zero-count buckets omitted, the
+// empty histogram all-zero), so encode→decode→encode is byte-stable and
+// two snapshots are equal iff their histograms are bucket-for-bucket equal.
+//
+// Take snapshots of quiesced histograms only (the bench runner joins every
+// recording goroutine before snapshotting). A snapshot torn by concurrent
+// Records can be internally inconsistent; Validate rejects such snapshots
+// at the decode boundary instead of merging silently wrong numbers.
+type Snapshot struct {
+	Count int64 `json:"count"`
+	Sum   int64 `json:"sum"`
+	// Min and Max are the exact extreme recorded values (0 when empty).
+	Min int64 `json:"min"`
+	Max int64 `json:"max"`
+	// Buckets lists the occupied slots in strictly ascending slot order.
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Bucket is one occupied histogram slot.
+type Bucket struct {
+	// Slot is the bucket index in the fixed histogram geometry (see slot).
+	Slot int `json:"slot"`
+	// Count is the number of observations in the slot; always positive in
+	// a valid snapshot.
+	Count int64 `json:"count"`
+}
+
+// Snapshot captures the histogram's current state in canonical wire form.
+func (h *Histogram) Snapshot() *Snapshot {
+	s := &Snapshot{Count: h.Count(), Sum: h.Sum(), Min: h.Min(), Max: h.Max()}
+	for i := 0; i < slotCount; i++ {
+		if n := h.counts[i].Load(); n != 0 {
+			s.Buckets = append(s.Buckets, Bucket{Slot: i, Count: n})
+		}
+	}
+	return s
+}
+
+// slotLower returns the smallest value mapping to slot s — the bucket's
+// inclusive lower bound, the counterpart of slotUpper.
+func slotLower(s int) int64 {
+	if s < subBucketCount {
+		return int64(s)
+	}
+	major := (s - subBucketCount) / subBucketCount
+	minor := (s - subBucketCount) % subBucketCount
+	return int64(subBucketCount+minor) << uint(major)
+}
+
+// Validate checks that the snapshot is a canonical, internally consistent
+// image of some histogram: buckets strictly ascending with positive counts
+// inside the fixed geometry, totals adding up, and min/max landing in the
+// extreme occupied buckets. Every decode path calls this before a merge,
+// so corrupt or forged wire bytes fail loudly instead of skewing merged
+// percentiles.
+func (s *Snapshot) Validate() error {
+	if s.Count < 0 {
+		return fmt.Errorf("hdr: snapshot has negative count %d", s.Count)
+	}
+	if s.Count == 0 {
+		if s.Sum != 0 || s.Min != 0 || s.Max != 0 || len(s.Buckets) != 0 {
+			return fmt.Errorf("hdr: empty snapshot carries data (sum=%d min=%d max=%d buckets=%d)",
+				s.Sum, s.Min, s.Max, len(s.Buckets))
+		}
+		return nil
+	}
+	if len(s.Buckets) == 0 {
+		return fmt.Errorf("hdr: snapshot counts %d observations but lists no buckets", s.Count)
+	}
+	var total int64
+	prev := -1
+	for i, b := range s.Buckets {
+		if b.Slot <= prev {
+			return fmt.Errorf("hdr: snapshot buckets not strictly ascending at index %d (slot %d after %d)", i, b.Slot, prev)
+		}
+		if b.Slot >= slotCount {
+			return fmt.Errorf("hdr: snapshot slot %d outside the histogram geometry [0, %d)", b.Slot, slotCount)
+		}
+		if b.Count <= 0 {
+			return fmt.Errorf("hdr: snapshot bucket at slot %d has non-positive count %d", b.Slot, b.Count)
+		}
+		total += b.Count
+		if total < 0 {
+			return fmt.Errorf("hdr: snapshot bucket counts overflow int64")
+		}
+		prev = b.Slot
+	}
+	if total != s.Count {
+		return fmt.Errorf("hdr: snapshot count %d != bucket total %d", s.Count, total)
+	}
+	if s.Min < 0 || s.Min > s.Max {
+		return fmt.Errorf("hdr: snapshot min %d / max %d out of order", s.Min, s.Max)
+	}
+	if got, want := slot(s.Min), s.Buckets[0].Slot; got != want {
+		return fmt.Errorf("hdr: snapshot min %d falls in slot %d, but the lowest occupied slot is %d", s.Min, got, want)
+	}
+	if got, want := slot(s.Max), s.Buckets[len(s.Buckets)-1].Slot; got != want {
+		return fmt.Errorf("hdr: snapshot max %d falls in slot %d, but the highest occupied slot is %d", s.Max, got, want)
+	}
+	// Sum plausibility: the exact sum must lie within the buckets' value
+	// bounds. Computed in float64 (the exact bound can overflow int64 at
+	// extreme slots) with a small relative slack for the float rounding.
+	var lo, hi float64
+	for _, b := range s.Buckets {
+		lo += float64(b.Count) * float64(slotLower(b.Slot))
+		hi += float64(b.Count) * float64(slotUpper(b.Slot))
+	}
+	const slack = 1e-6
+	if fs := float64(s.Sum); fs < lo*(1-slack)-1 || fs > hi*(1+slack)+1 {
+		return fmt.Errorf("hdr: snapshot sum %d outside the bucket bounds [%.0f, %.0f]", s.Sum, lo, hi)
+	}
+	return nil
+}
+
+// Histogram reconstructs the histogram a valid snapshot describes. The
+// round trip is exact: h.Snapshot().Histogram() is bucket-for-bucket equal
+// to h, with identical count, sum, min, max, and quantiles.
+func (s *Snapshot) Histogram() (*Histogram, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	h := New()
+	for _, b := range s.Buckets {
+		h.counts[b.Slot].Store(b.Count)
+	}
+	if s.Count == 0 {
+		return h, nil
+	}
+	h.count.Store(s.Count)
+	h.sum.Store(s.Sum)
+	h.min.Store(s.Min)
+	h.max.Store(s.Max)
+	return h, nil
+}
+
+// MergeSnapshot validates s and merges its observations into h — the
+// distributed path's equivalent of Merge, producing bucket-for-bucket the
+// same state as merging the histogram s was taken from. Invalid snapshots
+// are rejected without touching h.
+func (h *Histogram) MergeSnapshot(s *Snapshot) error {
+	if s == nil {
+		return nil
+	}
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	if s.Count == 0 {
+		return nil
+	}
+	for _, b := range s.Buckets {
+		h.counts[b.Slot].Add(b.Count)
+	}
+	h.count.Add(s.Count)
+	h.sum.Add(s.Sum)
+	for {
+		cur := h.max.Load()
+		if s.Max <= cur || h.max.CompareAndSwap(cur, s.Max) {
+			break
+		}
+	}
+	for {
+		cur := h.min.Load()
+		if s.Min >= cur || h.min.CompareAndSwap(cur, s.Min) {
+			break
+		}
+	}
+	return nil
+}
+
+// DecodeSnapshot parses and validates a JSON-encoded snapshot — the single
+// entry point wire bytes take into the histogram domain.
+func DecodeSnapshot(data []byte) (*Snapshot, error) {
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("hdr: bad snapshot encoding: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}

@@ -1,0 +1,231 @@
+package hdr
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// testValues returns a deterministic spread of values across the
+// histogram's dynamic range (no rand: an LCG keeps the test seed-stable).
+func testValues(n int, seed uint64) []int64 {
+	vals := make([]int64, n)
+	x := seed
+	for i := range vals {
+		x = x*6364136223846793005 + 1442695040888963407
+		// Spread across decades: low bits pick an exponent, next bits the
+		// mantissa, so tiny and huge values both occur.
+		exp := (x >> 59) % 40
+		vals[i] = int64((x>>8)%1000) << exp
+		if vals[i] < 0 {
+			vals[i] = -vals[i]
+		}
+	}
+	return vals
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	h := New()
+	for _, v := range testValues(5000, 42) {
+		h.RecordValue(v)
+	}
+	s := h.Snapshot()
+	h2, err := s.Histogram()
+	if err != nil {
+		t.Fatalf("valid snapshot rejected: %v", err)
+	}
+	if !reflect.DeepEqual(s, h2.Snapshot()) {
+		t.Fatal("decode(encode(h)) is not bucket-for-bucket equal to h")
+	}
+	if h.Count() != h2.Count() || h.Sum() != h2.Sum() || h.Min() != h2.Min() || h.Max() != h2.Max() {
+		t.Fatalf("round trip changed totals: count %d/%d sum %d/%d min %d/%d max %d/%d",
+			h.Count(), h2.Count(), h.Sum(), h2.Sum(), h.Min(), h2.Min(), h.Max(), h2.Max())
+	}
+	for _, q := range []float64{0, 0.5, 0.9, 0.99, 0.999, 1} {
+		if a, b := h.Quantile(q), h2.Quantile(q); a != b {
+			t.Errorf("Quantile(%v) = %d before, %d after round trip", q, a, b)
+		}
+	}
+}
+
+// TestEncodedMergeMatchesInProcessMerge is the distributed-mode guarantee:
+// snapshotting two histograms, shipping them as JSON, and merging the
+// decoded snapshots must equal the in-process Merge bucket-for-bucket.
+func TestEncodedMergeMatchesInProcessMerge(t *testing.T) {
+	a, b := New(), New()
+	for _, v := range testValues(3000, 7) {
+		a.RecordValue(v)
+	}
+	for _, v := range testValues(2000, 99) {
+		b.RecordValue(v)
+	}
+
+	inProcess := New()
+	inProcess.Merge(a)
+	inProcess.Merge(b)
+
+	overWire := New()
+	for _, h := range []*Histogram{a, b} {
+		data, err := json.Marshal(h.Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := DecodeSnapshot(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := overWire.MergeSnapshot(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if !reflect.DeepEqual(inProcess.Snapshot(), overWire.Snapshot()) {
+		t.Fatal("encode→decode→merge differs from in-process merge")
+	}
+}
+
+func TestSnapshotEmptyAndSingleSample(t *testing.T) {
+	empty := New().Snapshot()
+	if empty.Count != 0 || empty.Sum != 0 || empty.Min != 0 || empty.Max != 0 || len(empty.Buckets) != 0 {
+		t.Fatalf("empty snapshot not all-zero: %+v", empty)
+	}
+	h, err := empty.Histogram()
+	if err != nil {
+		t.Fatalf("empty snapshot rejected: %v", err)
+	}
+	if h.Count() != 0 || h.Quantile(0.99) != 0 {
+		t.Fatal("decoded empty snapshot is not an empty histogram")
+	}
+	// Merging an empty snapshot is a no-op, including on the min sentinel.
+	target := New()
+	target.RecordValue(500)
+	before := target.Snapshot()
+	if err := target.MergeSnapshot(empty); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(before, target.Snapshot()) {
+		t.Fatal("merging an empty snapshot changed the target")
+	}
+
+	single := New()
+	single.RecordValue(12345)
+	s := single.Snapshot()
+	if s.Count != 1 || s.Sum != 12345 || s.Min != 12345 || s.Max != 12345 || len(s.Buckets) != 1 || s.Buckets[0].Count != 1 {
+		t.Fatalf("single-sample snapshot wrong: %+v", s)
+	}
+	h2, err := s.Histogram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.Quantile(1) != 12345 || h2.Min() != 12345 {
+		t.Fatal("single-sample round trip lost the exact value")
+	}
+	// Merge empty target ← single: exact min/max must carry over.
+	fresh := New()
+	if err := fresh.MergeSnapshot(s); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Min() != 12345 || fresh.Max() != 12345 || fresh.Count() != 1 {
+		t.Fatalf("merge into empty histogram lost extremes: min %d max %d count %d", fresh.Min(), fresh.Max(), fresh.Count())
+	}
+}
+
+func TestSnapshotValidationRejectsGarbage(t *testing.T) {
+	valid := func() *Snapshot {
+		h := New()
+		h.RecordValue(100)
+		h.RecordValue(200)
+		return h.Snapshot()
+	}
+	cases := map[string]func(s *Snapshot){
+		"negative count":      func(s *Snapshot) { s.Count = -1 },
+		"empty with sum":      func(s *Snapshot) { s.Count = 0; s.Buckets = nil; s.Min, s.Max = 0, 0 },
+		"count sans buckets":  func(s *Snapshot) { s.Buckets = nil },
+		"unsorted buckets":    func(s *Snapshot) { s.Buckets[0], s.Buckets[1] = s.Buckets[1], s.Buckets[0] },
+		"duplicate slot":      func(s *Snapshot) { s.Buckets[1].Slot = s.Buckets[0].Slot },
+		"slot out of range":   func(s *Snapshot) { s.Buckets[1].Slot = slotCount },
+		"zero bucket count":   func(s *Snapshot) { s.Buckets[0].Count = 0 },
+		"total mismatch":      func(s *Snapshot) { s.Count = 5 },
+		"min above max":       func(s *Snapshot) { s.Min = s.Max + 1 },
+		"negative min":        func(s *Snapshot) { s.Min = -3 },
+		"min in wrong bucket": func(s *Snapshot) { s.Min = 199 },
+		"max in wrong bucket": func(s *Snapshot) { s.Max = 101 },
+		"sum out of bounds":   func(s *Snapshot) { s.Sum = math.MaxInt64 },
+	}
+	for name, corrupt := range cases {
+		s := valid()
+		corrupt(s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: corrupted snapshot validated: %+v", name, s)
+		}
+		target := New()
+		if err := target.MergeSnapshot(s); err == nil {
+			t.Errorf("%s: corrupted snapshot merged", name)
+		} else if target.Count() != 0 {
+			t.Errorf("%s: rejected merge still mutated the target", name)
+		}
+	}
+}
+
+// TestSnapshotJSONCanonical: one histogram state has exactly one encoding.
+func TestSnapshotJSONCanonical(t *testing.T) {
+	h := New()
+	for _, v := range testValues(1000, 11) {
+		h.RecordValue(v)
+	}
+	a, err := json.Marshal(h.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := DecodeSnapshot(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("encode→decode→encode is not byte-stable")
+	}
+}
+
+// FuzzDecodeSnapshot: the decoder never panics, and anything it accepts is
+// canonical — reconstructing the histogram and re-snapshotting reproduces
+// the accepted snapshot exactly.
+func FuzzDecodeSnapshot(f *testing.F) {
+	h := New()
+	for _, v := range testValues(200, 3) {
+		h.RecordValue(v)
+	}
+	seed, _ := json.Marshal(h.Snapshot())
+	f.Add(seed)
+	f.Add([]byte(`{"count":0,"sum":0,"min":0,"max":0}`))
+	f.Add([]byte(`{"count":1,"sum":5,"min":5,"max":5,"buckets":[{"slot":5,"count":1}]}`))
+	f.Add([]byte(`{"count":2,"sum":5,"min":5,"max":5,"buckets":[{"slot":5,"count":1}]}`))
+	f.Add([]byte(`{"count":1,"sum":5,"min":5,"max":5,"buckets":[{"slot":-1,"count":1}]}`))
+	f.Add([]byte(`{"count":9223372036854775807,"sum":1,"min":0,"max":0,"buckets":[{"slot":0,"count":9223372036854775807}]}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := DecodeSnapshot(data)
+		if err != nil {
+			return
+		}
+		h, err := s.Histogram()
+		if err != nil {
+			t.Fatalf("DecodeSnapshot accepted what Histogram rejects: %v", err)
+		}
+		if !reflect.DeepEqual(s, h.Snapshot()) {
+			t.Fatal("accepted snapshot is not canonical: re-encoding differs")
+		}
+		merged := New()
+		if err := merged.MergeSnapshot(s); err != nil {
+			t.Fatalf("accepted snapshot failed to merge: %v", err)
+		}
+		if merged.Count() != s.Count {
+			t.Fatalf("merge lost observations: %d != %d", merged.Count(), s.Count)
+		}
+	})
+}
