@@ -60,6 +60,9 @@
 //	-scenario string      workload: solve or campaign (default "solve")
 //	-campaign-steps int   campaign scenario: observe/quote pairs per session (default 8)
 //	-campaign-adaptive    campaign scenario: run sessions in adaptive re-planning mode
+//	-campaign-dedup float campaign scenario: fraction of sessions redirected onto one
+//	                      shared problem per kind — models many tenants pricing the
+//	                      same batch, the intern-table sharing regime (default 0)
 //	-url string           target daemon base URL; empty runs in-process
 //	-campaign-wal-dir string  in-process mode: attach a campaign event log at
 //	                      this directory — the durability leg, for measuring
@@ -133,6 +136,7 @@ func main() {
 		scenario    = flag.String("scenario", "solve", "workload: stateless solve requests or stateful campaign sessions (solve | campaign)")
 		campSteps   = flag.Int("campaign-steps", 0, "campaign scenario: observe/quote pairs per session (0 = default 8)")
 		campAdapt   = flag.Bool("campaign-adaptive", false, "campaign scenario: run every session in adaptive re-planning mode")
+		campDedup   = flag.Float64("campaign-dedup", 0, "campaign scenario: fraction of sessions redirected onto one shared problem per kind")
 		url         = flag.String("url", "", "target daemon base URL; empty runs in-process")
 		walDir      = flag.String("campaign-wal-dir", "", `in-process mode: attach a campaign event log at this directory ("" disables)`)
 		cacheSize   = flag.Int("cache", server.DefaultCacheSize, "in-process mode: policy cache capacity")
@@ -212,6 +216,7 @@ func main() {
 		Scenario:         bench.Scenario(*scenario),
 		CampaignSteps:    *campSteps,
 		CampaignAdaptive: *campAdapt,
+		CampaignDedup:    *campDedup,
 	}
 	sched, err := bench.GenerateSchedule(cfg)
 	if err != nil {

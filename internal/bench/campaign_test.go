@@ -207,3 +207,77 @@ func TestCampaignAdaptiveScenarioSmoke(t *testing.T) {
 		t.Error("drifting observation scripts produced zero replans")
 	}
 }
+
+// TestCampaignDedupSchedule: the -campaign-dedup dial concentrates sessions
+// onto the shared problem, changes the schedule hash (it is a different
+// workload), and rejects out-of-range or misplaced settings.
+func TestCampaignDedupSchedule(t *testing.T) {
+	base, err := GenerateSchedule(campaignConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := campaignConfig()
+	cfg.Cardinality = 16
+	cfg.CampaignDedup = 0.75
+	sched, err := GenerateSchedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.Hash == base.Hash {
+		t.Error("dedup dial did not change the schedule hash")
+	}
+	shared := 0
+	for _, q := range sched.Requests {
+		if q.ProblemID == 0 {
+			shared++
+		}
+	}
+	// 75% redirected plus 1/16 of the rest landing on 0 by chance.
+	if frac := float64(shared) / float64(len(sched.Requests)); frac < 0.6 {
+		t.Errorf("dedup 0.75 concentrated only %.2f of %d sessions on the shared problem", frac, len(sched.Requests))
+	}
+
+	cfg.CampaignDedup = 1.5
+	if _, err := GenerateSchedule(cfg); err == nil {
+		t.Error("dedup fraction above 1 accepted")
+	}
+	solve := campaignConfig()
+	solve.Scenario = ScenarioSolve
+	solve.CampaignSteps = 0
+	solve.CampaignDedup = 0.5
+	if _, err := GenerateSchedule(solve); err == nil {
+		t.Error("dedup dial accepted on the solve scenario")
+	}
+}
+
+// TestCampaignDedupScenarioSmoke runs the high-dedup campaign workload and
+// checks the server's intern layer stayed clean across the full HTTP
+// lifecycle: tables were interned, and the run ends with zero interned
+// quoters and zero resident bytes — the refcount-hygiene fence. (Sessions
+// here are short enough that concurrent overlap — intern hits — is not
+// guaranteed; the sharing guarantees are fenced in internal/campaign.)
+func TestCampaignDedupScenarioSmoke(t *testing.T) {
+	cfg := campaignConfig()
+	cfg.Cardinality = 16
+	cfg.CampaignDedup = 0.9
+	sched, err := GenerateSchedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, srv := NewInProcessTarget(server.Options{})
+	res, err := Run(context.Background(), sched, RunOptions{Target: NewTargetFor(sched, target.Client)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Overall.Errors != 0 {
+		t.Fatalf("dedup campaign run produced %d errors; samples: %v", res.Overall.Errors, res.ErrorSamples)
+	}
+	m := srv.Metrics()
+	if m.QuoterInternMisses == 0 {
+		t.Error("no tables were ever interned by the campaign workload")
+	}
+	if m.QuoterInterned != 0 || m.QuoterResidentBytes != 0 {
+		t.Errorf("run left %d interned quoters holding %d bytes; finished sessions must release their tables",
+			m.QuoterInterned, m.QuoterResidentBytes)
+	}
+}

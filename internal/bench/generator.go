@@ -168,6 +168,12 @@ type Config struct {
 	// CampaignAdaptive runs every campaign session in §5.2.5 adaptive mode
 	// (deadline kinds only — the generator rejects mixes it cannot serve).
 	CampaignAdaptive bool `json:"campaign_adaptive,omitempty"`
+	// CampaignDedup is the fraction of campaign sessions redirected onto one
+	// shared problem body per kind (campaign scenario only; 0 = every session
+	// draws from the full Cardinality). High values model many tenants
+	// pricing the same batch — the regime the server's quoter intern table
+	// collapses to one decoded policy table.
+	CampaignDedup float64 `json:"campaign_dedup,omitempty"`
 }
 
 func (c *Config) normalized() (Config, error) {
@@ -192,8 +198,11 @@ func (c *Config) normalized() (Config, error) {
 		if out.CampaignSteps <= 0 {
 			out.CampaignSteps = DefaultCampaignSteps
 		}
-	} else if out.CampaignSteps != 0 || out.CampaignAdaptive {
+	} else if out.CampaignSteps != 0 || out.CampaignAdaptive || out.CampaignDedup != 0 {
 		return out, fmt.Errorf("bench: campaign knobs set on the %q scenario", out.Scenario)
+	}
+	if out.CampaignDedup < 0 || out.CampaignDedup > 1 {
+		return out, fmt.Errorf("bench: campaign dedup fraction %v outside [0, 1]", out.CampaignDedup)
 	}
 	if len(out.Mix) == 0 {
 		if out.Scenario == ScenarioCampaign {
@@ -347,6 +356,11 @@ func GenerateSchedule(cfg Config) (*Schedule, error) {
 			Kind: pickKind(r, norm.Mix),
 		}
 		req.ProblemID = r.Intn(norm.Cardinality)
+		// The dedup draw is gated on the dial so dedup-free configs consume
+		// the RNG stream exactly as before and keep their schedule hashes.
+		if norm.CampaignDedup > 0 && r.Float64() < norm.CampaignDedup {
+			req.ProblemID = 0
+		}
 		req.Spec = problems.spec(req.Kind, req.ProblemID)
 		if norm.Scenario == ScenarioCampaign {
 			req.Steps = norm.CampaignSteps

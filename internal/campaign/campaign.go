@@ -10,7 +10,12 @@
 // and Quote are O(1) updates and table lookups under a per-campaign mutex,
 // while every expensive solve — the initial policy and the adaptive bank's
 // per-factor policies — runs through internal/engine's admission-controlled
-// scheduler before the campaign goes live, never inside the quote path.
+// scheduler before the campaign goes live. Decoded policy tables live in a
+// fingerprint-keyed intern table (intern.go): identical campaigns share
+// one compact table, and under a byte budget cold tables are dropped and
+// lazily re-decoded from the engine's cached artifact bytes — the one case
+// where a quote may wait on a solve, and it does so outside the campaign's
+// mutex.
 //
 // A Manager owns the campaign table: create/observe/quote/finish lifecycle,
 // TTL expiry of abandoned campaigns, Prometheus-style counters, and JSON
@@ -114,10 +119,13 @@ type campaign struct {
 	// fingerprint identifies the base solved artifact.
 	fingerprint string
 
-	// static policy path: bank has exactly one quoter and factors is nil.
-	// adaptive path: bank[i] is the policy for factors[i], baseLambdas the
-	// unscaled per-interval expectations, window the estimate length.
-	bank        []Quoter
+	// static policy path: bank has exactly one interned handle and factors
+	// is nil. adaptive path: bank[i] is the handle for factors[i],
+	// baseLambdas the unscaled per-interval expectations, window the
+	// estimate length. Handles are refcounted by the manager's intern
+	// table; the decoded tables behind them may be shared across campaigns
+	// and evicted/re-decoded under the byte budget.
+	bank        []*internedQuoter
 	factors     []float64
 	window      int
 	baseLambdas []float64
@@ -125,6 +133,9 @@ type campaign struct {
 	mu        sync.Mutex
 	remaining []int
 	interval  int
+	// quoteBuf is the reusable price-vector scratch quoteLocked appends
+	// into, so a warm quote allocates nothing.
+	quoteBuf []int
 	// observed is the trailing window of per-interval arrivals (adaptive
 	// campaigns only, at most window entries — the estimator never reads
 	// further back, and an unbounded history would grow daemon memory and
@@ -144,8 +155,9 @@ type campaign struct {
 	lastLSN uint64
 }
 
-// active returns the quoter the campaign currently follows. Callers hold mu.
-func (c *campaign) active() Quoter { return c.bank[c.activeIdx] }
+// active returns the interned handle the campaign currently follows.
+// Callers hold mu.
+func (c *campaign) active() *internedQuoter { return c.bank[c.activeIdx] }
 
 // adaptive reports whether the campaign re-plans from a factor bank.
 func (c *campaign) adaptive() bool { return len(c.factors) > 0 }
@@ -215,11 +227,15 @@ func (c *campaign) replanLocked() {
 	}
 }
 
-// quoteLocked is the hot path: one table lookup in the active policy.
+// quoteLocked is the hot path: one table lookup in the active policy,
+// appended into the campaign's reusable scratch so a warm quote performs
+// zero heap allocations. tab is the active handle's decoded table, loaded
+// by the caller (Manager.Quote resolves evictions outside this lock).
 // Callers hold mu.
-func (c *campaign) quoteLocked() []int {
+func (c *campaign) quoteLocked(tab Quoter) []int {
 	c.quotes++
-	return c.active().Quote(c.remaining, c.interval)
+	c.quoteBuf = tab.AppendQuote(c.quoteBuf[:0], c.remaining, c.interval)
+	return c.quoteBuf
 }
 
 // done reports whether every task type is complete. Callers hold mu.

@@ -23,6 +23,13 @@ type Solver interface {
 	Solve(ctx context.Context, spec engine.Spec) (*engine.Result, error)
 }
 
+// batchSolver is the optional background lane: solvers that implement it
+// (the engine does) run bank pre-solves and prefetches behind interactive
+// work; others serve both from one lane.
+type batchSolver interface {
+	SolveBatch(ctx context.Context, spec engine.Spec) (*engine.Result, error)
+}
+
 // Defaults for Options zero values.
 const (
 	// DefaultTTL is how long an untouched campaign survives before the
@@ -43,6 +50,16 @@ type Options struct {
 	// SweepInterval is how often the background sweeper scans for expired
 	// campaigns (0 = TTL/4 clamped to [1s, 1m]). Ignored when TTL < 0.
 	SweepInterval time.Duration
+	// QuoterMemoryBudget bounds the bytes of decoded policy tables resident
+	// across all interned quoters (0 = unlimited). Over budget, the
+	// least-recently-quoted tables are dropped and lazily re-decoded from
+	// the engine's cached artifact bytes on next use.
+	QuoterMemoryBudget int64
+	// LazyBank defers adaptive bank solving: only the starting factor is
+	// solved at create; a neighboring factor is solved the first time the
+	// rate estimate lands on it (prefetched on the engine's background lane,
+	// deduped through the engine and the intern table).
+	LazyBank bool
 
 	// now overrides the clock in tests.
 	now func() time.Time
@@ -56,6 +73,9 @@ type Manager struct {
 	solver   Solver
 	registry *engine.Registry
 	opts     Options
+	// intern is the policy-table memory engine: fingerprint-keyed,
+	// refcounted, byte-budget-tiered decoded tables shared across campaigns.
+	intern *internTable
 
 	mu        sync.RWMutex
 	campaigns map[string]*campaign
@@ -105,6 +125,11 @@ func NewManager(solver Solver, reg *engine.Registry, opts Options) *Manager {
 		campaigns: make(map[string]*campaign),
 		quit:      make(chan struct{}),
 	}
+	batch := solver.Solve
+	if bs, ok := solver.(batchSolver); ok {
+		batch = bs.SolveBatch
+	}
+	m.intern = newInternTable(opts.QuoterMemoryBudget, solver.Solve, batch)
 	if opts.TTL > 0 {
 		go m.sweeper()
 	}
@@ -137,27 +162,34 @@ func (m *Manager) ExpireIdle() int {
 	}
 	cutoff := m.opts.now().Add(-m.opts.TTL)
 	m.mu.Lock()
-	var dead []string
-	for id, c := range m.campaigns {
+	var dead []*campaign
+	for _, c := range m.campaigns {
 		c.mu.Lock()
 		idle := c.lastTouched.Before(cutoff)
 		c.mu.Unlock()
 		if idle {
-			dead = append(dead, id)
+			dead = append(dead, c)
 		}
 	}
-	for _, id := range dead {
-		delete(m.campaigns, id)
+	removed := make([]*campaign, 0, len(dead))
+	for _, c := range dead {
+		delete(m.campaigns, c.id)
+		removed = append(removed, c)
 		// Expiry must reach the log, or a replay would resurrect the
 		// campaign. The sweeper has no caller to surface an append error
 		// to; the failure is sticky and the next client write reports it.
-		if _, err := m.walAppend(WALRecordExpire, walRefEvent{ID: id}); err != nil {
+		if _, err := m.walAppend(WALRecordExpire, walRefEvent{ID: c.id}); err != nil {
 			break
 		}
 	}
 	m.mu.Unlock()
-	m.expired.Add(int64(len(dead)))
-	return len(dead)
+	// Return the expired campaigns' intern references outside the table
+	// lock; shared tables stay resident for their surviving holders.
+	for _, c := range removed {
+		m.intern.releaseAll(c.bank)
+	}
+	m.expired.Add(int64(len(removed)))
+	return len(removed)
 }
 
 // decodeSpec resolves kind through the registry and strictly decodes
@@ -176,23 +208,34 @@ func (m *Manager) decodeSpec(kind string, request json.RawMessage) (engine.Spec,
 	return spec, nil
 }
 
-// solveQuoter runs one spec through the engine and decodes the artifact
-// into its quoter.
-func (m *Manager) solveQuoter(ctx context.Context, kind string, spec engine.Spec) (Quoter, *engine.Result, error) {
-	res, err := m.solver.Solve(ctx, spec)
+// acquireQuoter interns one spec's policy handle and ensures its table is
+// decoded: an intern hit on a warm table costs a map lookup; a miss (or an
+// evicted table) solves through the engine — warm-cache cheap when an
+// identical problem was solved before — and decodes once. The caller owns
+// one reference on the returned handle.
+func (m *Manager) acquireQuoter(ctx context.Context, kind string, spec engine.Spec) (*internedQuoter, bool, error) {
+	h, err := m.intern.acquire(kind, spec)
 	if err != nil {
-		return nil, nil, err
+		return nil, false, err
 	}
-	q, err := newQuoter(kind, res.Value)
+	_, warm, err := h.ensure(ctx, false)
 	if err != nil {
-		return nil, nil, err
+		m.intern.release(h)
+		return nil, false, err
 	}
-	return q, res, nil
+	return h, warm, nil
 }
 
-// Create registers a new campaign: solve the policy for (kind, request)
-// through the engine — warm-cache cheap when an identical problem was
-// solved before — and, in adaptive mode, pre-solve the whole factor bank.
+// releaseCampaign returns every bank handle's intern reference. Call it on
+// every path that unregisters (or never registers) a built campaign.
+func (m *Manager) releaseCampaign(c *campaign) {
+	m.intern.releaseAll(c.bank)
+}
+
+// Create registers a new campaign: intern the policy for (kind, request) —
+// identical campaigns share one decoded table, cold problems solve through
+// the engine — and, in adaptive mode, build the factor bank (pre-solved
+// on the engine's background lane, or lazily under Options.LazyBank).
 // The returned State carries the campaign ID every other call takes.
 func (m *Manager) Create(ctx context.Context, kind string, request json.RawMessage, adaptive *AdaptiveOptions) (*State, error) {
 	// Shed a full table before any solver work: a 429 must mean "the
@@ -209,7 +252,7 @@ func (m *Manager) Create(ctx context.Context, kind string, request json.RawMessa
 	if err != nil {
 		return nil, err
 	}
-	quoter, res, err := m.solveQuoter(ctx, kind, spec)
+	h, warm, err := m.acquireQuoter(ctx, kind, spec)
 	if err != nil {
 		return nil, err
 	}
@@ -217,13 +260,28 @@ func (m *Manager) Create(ctx context.Context, kind string, request json.RawMessa
 	c := &campaign{
 		kind:        kind,
 		request:     append([]byte(nil), request...),
-		fingerprint: res.Fingerprint,
-		bank:        []Quoter{quoter},
-		remaining:   quoter.InitialCounts(),
+		fingerprint: h.key,
+		bank:        []*internedQuoter{h},
+		remaining:   h.InitialCounts(),
+		quoteBuf:    make([]int, 0, h.Types()),
 		factor:      1,
 	}
+	registered := false
+	defer func() {
+		if !registered {
+			m.releaseCampaign(c)
+		}
+	}()
 	if adaptive != nil {
-		if err := m.buildBank(ctx, c, spec, adaptive); err != nil {
+		err := m.buildBank(ctx, c, spec, adaptive)
+		// The bank's own slots hold their references now (the factor-1.0
+		// slot deduped onto h when the grid contains it); the initial
+		// handle's reference is returned either way. On error the deferred
+		// release covers the bank-less c.
+		if err == nil {
+			m.intern.release(h)
+		}
+		if err != nil {
 			return nil, err
 		}
 	}
@@ -231,7 +289,7 @@ func (m *Manager) Create(ctx context.Context, kind string, request json.RawMessa
 	now := m.opts.now()
 	c.created, c.lastTouched = now, now
 	seq := m.seq.Add(1)
-	c.id = campaignID(seq, res.Fingerprint)
+	c.id = campaignID(seq, c.fingerprint)
 
 	m.mu.Lock()
 	if len(m.campaigns) >= m.opts.MaxCampaigns {
@@ -255,23 +313,26 @@ func (m *Manager) Create(ctx context.Context, kind string, request json.RawMessa
 	}
 	c.lastLSN = lsn
 	m.campaigns[c.id] = c
+	registered = true
 	m.mu.Unlock()
 	m.created.Add(1)
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	st := c.stateLocked()
-	st.SolveCacheHit = res.CacheHit
+	st.SolveCacheHit = warm
 	return st, nil
 }
 
-// buildBank pre-solves the adaptive factor grid: the base deadline problem
-// with λ_t scaled by each factor, every solve going through the engine so
-// identical banks across campaigns (or across a snapshot restore) cost one
-// solve per factor, not one per campaign. The factors are submitted
-// concurrently — the engine's worker pool, queue, and singleflight table
-// are the admission control, so a bank costs roughly one solve's wall
-// time on a multi-core daemon instead of the sum of the grid.
+// buildBank builds the adaptive factor bank: one interned handle per
+// factor of the base deadline problem with λ_t scaled, so identical banks
+// across campaigns (or across a snapshot restore) share one decoded table
+// per factor, not one per campaign. Eager mode pre-solves every factor
+// concurrently through the engine's background lane — its worker pool,
+// queue, and singleflight table are the admission control, and the lane
+// keeps the grid from monopolizing workers against interactive solves.
+// Lazy mode (Options.LazyBank) solves only the starting factor; the rest
+// solve the first time a re-plan lands on them.
 func (m *Manager) buildBank(ctx context.Context, c *campaign, spec engine.Spec, adaptive *AdaptiveOptions) error {
 	base, ok := spec.(*kinds.DeadlineRequest)
 	if !ok {
@@ -281,39 +342,58 @@ func (m *Manager) buildBank(ctx context.Context, c *campaign, spec engine.Spec, 
 	if err != nil {
 		return &engine.InvalidSpecError{Err: err}
 	}
-	bank := make([]Quoter, len(norm.Factors))
-	errs := make([]error, len(norm.Factors))
-	var wg sync.WaitGroup
+	// Acquire every factor's handle up front (a fingerprint and a map
+	// entry each); solving is a separate, per-mode decision.
+	bank := make([]*internedQuoter, len(norm.Factors))
 	for i, f := range norm.Factors {
-		wg.Add(1)
-		go func(i int, f float64) {
-			defer wg.Done()
-			scaled := *base
-			scaled.Lambdas = make([]float64, len(base.Lambdas))
-			for t, l := range base.Lambdas {
-				scaled.Lambdas[t] = l * f
-			}
-			q, _, err := m.solveQuoter(ctx, c.kind, &scaled)
-			if err != nil {
-				errs[i] = fmt.Errorf("solving adaptive bank factor %g: %w", f, err)
-				return
-			}
-			bank[i] = q
-		}(i, f)
-	}
-	wg.Wait()
-	for _, err := range errs {
+		scaled := *base
+		scaled.Lambdas = make([]float64, len(base.Lambdas))
+		for t, l := range base.Lambdas {
+			scaled.Lambdas[t] = l * f
+		}
+		h, err := m.intern.acquire(c.kind, &scaled)
 		if err != nil {
-			return err
+			m.intern.releaseAll(bank[:i])
+			return fmt.Errorf("interning adaptive bank factor %g: %w", f, err)
+		}
+		bank[i] = h
+	}
+	// Start on the factor nearest 1.0 — the trained profile — exactly as
+	// the sim controller does before its first window closes.
+	start := nearestIndex(norm.Factors, 1)
+	if m.opts.LazyBank {
+		if _, _, err := bank[start].ensure(ctx, false); err != nil {
+			m.intern.releaseAll(bank)
+			return fmt.Errorf("solving adaptive bank factor %g: %w", norm.Factors[start], err)
+		}
+		// Unsolved slots answer Horizon/Types from the starting factor's
+		// shape — scaling λ_t moves prices, never dimensions.
+		m.intern.prefillMeta(bank, bank[start])
+	} else {
+		errs := make([]error, len(bank))
+		var wg sync.WaitGroup
+		for i := range bank {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				if _, _, err := bank[i].ensure(ctx, true); err != nil {
+					errs[i] = fmt.Errorf("solving adaptive bank factor %g: %w", norm.Factors[i], err)
+				}
+			}(i)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				m.intern.releaseAll(bank)
+				return err
+			}
 		}
 	}
 	c.bank = bank
 	c.factors = norm.Factors
 	c.window = norm.WindowIntervals
 	c.baseLambdas = append([]float64(nil), base.Lambdas...)
-	// Start on the factor nearest 1.0 — the trained profile — exactly as
-	// the sim controller does before its first window closes.
-	c.activeIdx = nearestIndex(norm.Factors, 1)
+	c.activeIdx = start
 	return nil
 }
 
@@ -384,26 +464,62 @@ func (m *Manager) Observe(id string, arrivals float64, completed []int) (*State,
 	}
 	c.lastTouched = m.opts.now()
 	m.replans.Add(c.replans - before)
+	// Lazy banks: a re-plan that landed on a still-unsolved factor solves
+	// it now, asynchronously on the engine's background lane (deduped per
+	// handle), so the estimate's first drift toward a neighbor pre-warms
+	// that neighbor before the next quote needs it.
+	if c.adaptive() {
+		if h := c.active(); h.load() == nil {
+			go h.prefetch()
+		}
+	}
 	return c.stateLocked(), nil
 }
 
 // Quote serves the policy's price for the campaign's current state — the
-// hot path: one mutex acquisition and one table lookup, no allocation
-// beyond the response.
+// hot path: when the active table is resident, one mutex acquisition, one
+// atomic table load, and one lookup into the campaign's reusable price
+// buffer — zero heap allocations beyond the response envelope. A table
+// evicted under the memory budget (or a lazy bank slot quoted before its
+// prefetch lands) is re-decoded outside the campaign's mutex first.
 func (m *Manager) Quote(id string) (*Quote, error) {
 	c, err := m.get(id)
 	if err != nil {
 		return nil, err
 	}
 	c.mu.Lock()
+	h := c.active()
+	var tab Quoter = h.load()
+	for tab == nil {
+		c.mu.Unlock()
+		etab, _, err := h.ensure(context.Background(), false)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: re-decoding policy table: %w", err)
+		}
+		c.mu.Lock()
+		if c.active() == h {
+			// Quote from the table just ensured even if the budget already
+			// evicted it again — tables are immutable, so the price is the
+			// same; only recency bookkeeping would differ.
+			tab = etab
+		} else {
+			// A concurrent re-plan switched factors mid-ensure; chase the
+			// new active slot.
+			h = c.active()
+			tab = h.load()
+		}
+	}
 	defer c.mu.Unlock()
-	prices := c.quoteLocked()
+	h.touch()
+	prices := c.quoteLocked(tab)
 	c.lastTouched = m.opts.now()
 	m.quotes.Add(1)
 	q := &Quote{
-		ID:        c.id,
-		Price:     prices[0],
-		Prices:    prices,
+		ID:    c.id,
+		Price: prices[0],
+		// prices aliases the campaign's scratch buffer, which the next
+		// quote overwrites; the response envelope owns its own copy.
+		Prices:    append([]int(nil), prices...),
 		Interval:  c.interval,
 		Remaining: append([]int(nil), c.remaining...),
 		Done:      c.doneLocked(),
@@ -441,6 +557,9 @@ func (m *Manager) Finish(id string) (*Summary, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
 	}
+	// The campaign left the table; return its intern references. Shared
+	// tables stay resident for their surviving holders.
+	m.releaseCampaign(c)
 	if logErr != nil {
 		return nil, fmt.Errorf("campaign: logging finish: %w", logErr)
 	}
@@ -468,6 +587,18 @@ type Metrics struct {
 	Quotes  int64
 	Replans int64
 	Expired int64
+
+	// QuoterInterned is the number of distinct policy tables in the intern
+	// table; QuoterResidentBytes the decoded bytes currently resident
+	// across them (evicted entries count zero).
+	QuoterInterned      int64
+	QuoterResidentBytes int64
+	// QuoterInternHits / QuoterInternMisses count intern-table lookups
+	// that found / created an entry; QuoterRedecodes counts tables decoded
+	// again after a budget eviction.
+	QuoterInternHits   int64
+	QuoterInternMisses int64
+	QuoterRedecodes    int64
 }
 
 // Metrics returns the current counter and gauge values.
@@ -475,11 +606,17 @@ func (m *Manager) Metrics() Metrics {
 	m.mu.RLock()
 	active := int64(len(m.campaigns))
 	m.mu.RUnlock()
+	is := m.intern.stats()
 	return Metrics{
-		Active:  active,
-		Created: m.created.Load(),
-		Quotes:  m.quotes.Load(),
-		Replans: m.replans.Load(),
-		Expired: m.expired.Load(),
+		Active:              active,
+		Created:             m.created.Load(),
+		Quotes:              m.quotes.Load(),
+		Replans:             m.replans.Load(),
+		Expired:             m.expired.Load(),
+		QuoterInterned:      is.interned,
+		QuoterResidentBytes: is.residentBytes,
+		QuoterInternHits:    is.hits,
+		QuoterInternMisses:  is.misses,
+		QuoterRedecodes:     is.redecodes,
 	}
 }

@@ -125,6 +125,17 @@ func (m *Manager) Restore(ctx context.Context, r io.Reader) error {
 
 	now := m.opts.now()
 	restored := make([]*campaign, 0, len(file.Campaigns))
+	// All-or-nothing: an abort after some campaigns were rebuilt must return
+	// their intern references, or the abandoned banks would pin decoded
+	// tables forever.
+	committed := false
+	defer func() {
+		if !committed {
+			for _, c := range restored {
+				m.releaseCampaign(c)
+			}
+		}
+	}()
 	seen := make(map[string]bool, len(file.Campaigns))
 	for _, cs := range file.Campaigns {
 		if seen[cs.ID] {
@@ -160,6 +171,7 @@ func (m *Manager) Restore(ctx context.Context, r io.Reader) error {
 		}
 	}
 	m.created.Add(int64(len(restored)))
+	committed = true
 	return nil
 }
 
@@ -172,7 +184,7 @@ func (m *Manager) rebuild(ctx context.Context, cs campaignSnapshot, now time.Tim
 	if err != nil {
 		return nil, err
 	}
-	quoter, res, err := m.solveQuoter(ctx, cs.Kind, spec)
+	h, _, err := m.acquireQuoter(ctx, cs.Kind, spec)
 	if err != nil {
 		return nil, err
 	}
@@ -180,15 +192,25 @@ func (m *Manager) rebuild(ctx context.Context, cs campaignSnapshot, now time.Tim
 		id:          cs.ID,
 		kind:        cs.Kind,
 		request:     append([]byte(nil), cs.Request...),
-		fingerprint: res.Fingerprint,
-		bank:        []Quoter{quoter},
-		remaining:   quoter.InitialCounts(),
+		fingerprint: h.key,
+		bank:        []*internedQuoter{h},
+		remaining:   h.InitialCounts(),
+		quoteBuf:    make([]int, 0, h.Types()),
 		factor:      1,
 	}
+	ok := false
+	defer func() {
+		if !ok {
+			m.releaseCampaign(c)
+		}
+	}()
 	if cs.Adaptive != nil {
 		if err := m.buildBank(ctx, c, spec, cs.Adaptive); err != nil {
 			return nil, err
 		}
+		// The bank's slots hold their own references now; the base handle's
+		// goes back (a factor-1.0 slot deduped onto the same entry).
+		m.intern.release(h)
 	}
 
 	// Replay the dynamic state, validating shape against the fresh policy
@@ -228,5 +250,6 @@ func (m *Manager) rebuild(ctx context.Context, cs campaignSnapshot, now time.Tim
 	// The restored campaign is touched now: surviving a restart should not
 	// count as idleness against the TTL.
 	c.lastTouched = now
+	ok = true
 	return c, nil
 }

@@ -239,6 +239,16 @@ func (m *Manager) ReplayWAL(ctx context.Context, src WALSource) (*WALReplayStats
 
 	now := m.opts.now()
 	rebuilt := make([]*campaign, 0, len(ids))
+	// Like Restore: an abort after some campaigns were rebuilt must return
+	// their intern references.
+	committed := false
+	defer func() {
+		if !committed {
+			for _, c := range rebuilt {
+				m.releaseCampaign(c)
+			}
+		}
+	}()
 	for _, id := range ids {
 		f := folds[id]
 		var (
@@ -253,6 +263,7 @@ func (m *Manager) ReplayWAL(ctx context.Context, src WALSource) (*WALReplayStats
 		if err != nil {
 			return nil, fmt.Errorf("campaign: replaying %q: %w", id, err)
 		}
+		rebuilt = append(rebuilt, c)
 		c.mu.Lock()
 		for _, ob := range f.observes {
 			before := c.replans
@@ -264,7 +275,6 @@ func (m *Manager) ReplayWAL(ctx context.Context, src WALSource) (*WALReplayStats
 		}
 		c.lastLSN = f.lastLSN
 		c.mu.Unlock()
-		rebuilt = append(rebuilt, c)
 	}
 
 	m.mu.Lock()
@@ -288,6 +298,7 @@ func (m *Manager) ReplayWAL(ctx context.Context, src WALSource) (*WALReplayStats
 	}
 	m.created.Add(int64(len(rebuilt)))
 	stats.Campaigns = len(rebuilt)
+	committed = true
 	return stats, nil
 }
 
@@ -300,7 +311,7 @@ func (m *Manager) rebuildFromEvent(ctx context.Context, ev *walCreateEvent, now 
 	if err != nil {
 		return nil, err
 	}
-	quoter, res, err := m.solveQuoter(ctx, ev.Kind, spec)
+	h, _, err := m.acquireQuoter(ctx, ev.Kind, spec)
 	if err != nil {
 		return nil, err
 	}
@@ -308,15 +319,20 @@ func (m *Manager) rebuildFromEvent(ctx context.Context, ev *walCreateEvent, now 
 		id:          ev.ID,
 		kind:        ev.Kind,
 		request:     append([]byte(nil), ev.Request...),
-		fingerprint: res.Fingerprint,
-		bank:        []Quoter{quoter},
-		remaining:   quoter.InitialCounts(),
+		fingerprint: h.key,
+		bank:        []*internedQuoter{h},
+		remaining:   h.InitialCounts(),
+		quoteBuf:    make([]int, 0, h.Types()),
 		factor:      1,
 	}
 	if ev.Adaptive != nil {
 		if err := m.buildBank(ctx, c, spec, ev.Adaptive); err != nil {
+			m.releaseCampaign(c)
 			return nil, err
 		}
+		// The bank's slots hold their own references now; the base handle's
+		// goes back (a factor-1.0 slot deduped onto the same entry).
+		m.intern.release(h)
 	}
 	c.created = time.Unix(0, ev.CreatedUnixNano)
 	c.lastTouched = now

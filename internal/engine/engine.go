@@ -101,16 +101,24 @@ type kindCounters struct {
 // stay in the microsecond range; cold solves are admitted up to QueueDepth
 // and shed with ErrQueueFull beyond it, so a burst of expensive problems
 // degrades into fast, explicit backpressure instead of unbounded goroutines.
-// Create with New; an Engine is safe for arbitrary concurrent use.
+//
+// Admission has two lanes. Solve enqueues on the interactive lane;
+// SolveBatch enqueues on the background lane, which workers only drain
+// when no interactive work is waiting — so bulk pre-solves (an adaptive
+// campaign's 11-factor bank) cannot monopolize the pool against
+// interactive create/quote solves. Both lanes share the singleflight
+// table: identical work submitted on different lanes still costs one
+// solve. Create with New; an Engine is safe for arbitrary concurrent use.
 type Engine struct {
 	opts  Options
 	cache *lruCache
 
-	mu     sync.Mutex
-	calls  map[string]*call
-	closed bool
-	queue  chan *call
-	quit   chan struct{}
+	mu      sync.Mutex
+	calls   map[string]*call
+	closed  bool
+	queue   chan *call
+	bgQueue chan *call
+	quit    chan struct{}
 
 	inFlight     atomic.Int64
 	cacheHits    atomic.Int64 // calls served from the cache (warm or double-check)
@@ -136,15 +144,20 @@ func New(opts Options) *Engine {
 		opts.QueueDepth = DefaultQueueDepth
 	}
 	e := &Engine{
-		opts:   opts,
-		cache:  newLRUCache(opts.CacheSize),
-		calls:  make(map[string]*call),
-		queue:  make(chan *call, opts.QueueDepth),
-		quit:   make(chan struct{}),
-		byKind: make(map[string]*kindCounters),
+		opts:    opts,
+		cache:   newLRUCache(opts.CacheSize),
+		calls:   make(map[string]*call),
+		queue:   make(chan *call, opts.QueueDepth),
+		bgQueue: make(chan *call, opts.QueueDepth),
+		quit:    make(chan struct{}),
+		byKind:  make(map[string]*kindCounters),
 	}
 	for i := 0; i < opts.Workers; i++ {
-		go e.worker()
+		// With more than one worker, worker 0 serves the interactive lane
+		// exclusively: even a pool saturated with background pre-solves keeps
+		// one worker answering interactive solves. A single-worker pool must
+		// serve both lanes or SolveBatch would never complete.
+		go e.worker(opts.Workers > 1 && i == 0)
 	}
 	return e
 }
@@ -155,6 +168,18 @@ func New(opts Options) *Engine {
 // ctx.Err() while the solve keeps running and warms the cache for the
 // retry. Queue overflow returns ErrQueueFull without enqueueing anything.
 func (e *Engine) Solve(ctx context.Context, spec Spec) (*Result, error) {
+	return e.solve(ctx, spec, e.queue)
+}
+
+// SolveBatch is Solve on the background lane: identical semantics (cache,
+// singleflight, ErrQueueFull shedding), but the admitted call waits behind
+// all interactive work. Use it for bulk pre-solves whose latency nobody is
+// sitting on — adaptive bank factors, prefetches, warmups.
+func (e *Engine) SolveBatch(ctx context.Context, spec Spec) (*Result, error) {
+	return e.solve(ctx, spec, e.bgQueue)
+}
+
+func (e *Engine) solve(ctx context.Context, spec Spec, lane chan *call) (*Result, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, &InvalidSpecError{err}
 	}
@@ -183,7 +208,7 @@ func (e *Engine) Solve(ctx context.Context, spec Spec) (*Result, error) {
 		// The non-blocking send happens under the same lock as the
 		// registration, so a rejected call is never visible to joiners.
 		select {
-		case e.queue <- c:
+		case lane <- c:
 			e.calls[key] = c
 		default:
 			e.mu.Unlock()
@@ -215,17 +240,42 @@ func (e *Engine) Solve(ctx context.Context, spec Spec) (*Result, error) {
 	return res, nil
 }
 
-func (e *Engine) worker() {
+func (e *Engine) worker(interactiveOnly bool) {
 	for {
+		if interactiveOnly {
+			select {
+			case <-e.quit:
+				return
+			case c := <-e.queue:
+				e.serve(c)
+			}
+			continue
+		}
+		// Biased select: drain the interactive lane dry before touching the
+		// background lane, so queued bank pre-solves only run on capacity no
+		// interactive caller is waiting for.
 		select {
 		case <-e.quit:
 			return
 		case c := <-e.queue:
-			e.inFlight.Add(1)
-			e.run(c)
-			e.inFlight.Add(-1)
+			e.serve(c)
+		default:
+			select {
+			case <-e.quit:
+				return
+			case c := <-e.queue:
+				e.serve(c)
+			case c := <-e.bgQueue:
+				e.serve(c)
+			}
 		}
 	}
+}
+
+func (e *Engine) serve(c *call) {
+	e.inFlight.Add(1)
+	e.run(c)
+	e.inFlight.Add(-1)
 }
 
 // run executes one admitted call and publishes its result.
@@ -286,6 +336,8 @@ func (e *Engine) Close() {
 		select {
 		case c := <-e.queue:
 			e.fail(c, ErrClosed)
+		case c := <-e.bgQueue:
+			e.fail(c, ErrClosed)
 		default:
 			return
 		}
@@ -305,8 +357,10 @@ func (e *Engine) counters(kind string) *kindCounters {
 
 // Metrics is a point-in-time read of the engine's observability surface.
 type Metrics struct {
-	// QueueDepth is the number of admitted calls waiting for a worker.
-	QueueDepth int64
+	// QueueDepth is the number of admitted interactive calls waiting for a
+	// worker; BatchQueueDepth the same for the background lane.
+	QueueDepth      int64
+	BatchQueueDepth int64
 	// InFlight is the number of calls currently occupying a worker.
 	InFlight int64
 
@@ -325,15 +379,16 @@ type Metrics struct {
 // Metrics returns the current counter and gauge values.
 func (e *Engine) Metrics() Metrics {
 	m := Metrics{
-		QueueDepth:     int64(len(e.queue)),
-		InFlight:       e.inFlight.Load(),
-		CacheHits:      e.cacheHits.Load(),
-		CacheMisses:    e.cacheMisses.Load(),
-		Solves:         e.solves.Load(),
-		FlightShared:   e.flightShared.Load(),
-		CacheEntries:   int64(e.cache.Len()),
-		SolvesByKind:   make(map[string]int64),
-		RejectedByKind: make(map[string]int64),
+		QueueDepth:      int64(len(e.queue)),
+		BatchQueueDepth: int64(len(e.bgQueue)),
+		InFlight:        e.inFlight.Load(),
+		CacheHits:       e.cacheHits.Load(),
+		CacheMisses:     e.cacheMisses.Load(),
+		Solves:          e.solves.Load(),
+		FlightShared:    e.flightShared.Load(),
+		CacheEntries:    int64(e.cache.Len()),
+		SolvesByKind:    make(map[string]int64),
+		RejectedByKind:  make(map[string]int64),
 	}
 	e.kindMu.Lock()
 	defer e.kindMu.Unlock()

@@ -75,6 +75,11 @@ func TestMetricsPrometheusConventions(t *testing.T) {
 		"crowdpricing_rejections_total",
 		"crowdpricing_queue_depth",
 		"crowdpricing_inflight_solves",
+		"crowdpricing_quoter_interned",
+		"crowdpricing_quoter_resident_bytes",
+		"crowdpricing_quoter_intern_hits_total",
+		"crowdpricing_quoter_intern_misses_total",
+		"crowdpricing_quoter_redecodes_total",
 	} {
 		if _, ok := types[want]; !ok {
 			t.Errorf("expected metric family %q absent from /metrics", want)
