@@ -339,6 +339,18 @@ func runSingle(ctx context.Context, sched *bench.Schedule, f singleFlags, gates 
 
 	closeWAL()
 	rep := bench.BuildReport(sched.Config, targetName, res, time.Now())
+	if f.url != "" {
+		// A live daemon can say where the time went server-side: attach its
+		// per-stage breakdown from /v1/analytics. Best-effort — the daemon
+		// may run with tracing off or predate the analytics plane.
+		actx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		if an, err := server.NewClient(f.url).Analytics(actx); err != nil {
+			log.Printf("server stage breakdown unavailable: %v", err)
+		} else {
+			rep.ServerStages = an.Stages
+		}
+		cancel()
+	}
 	exit := reportAndGate(rep, gates)
 	if runErr != nil && exit == 0 {
 		exit = 1

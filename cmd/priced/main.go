@@ -32,14 +32,26 @@
 // both flags are set, a non-empty log wins and the snapshot file is
 // ignored; a legacy snapshot with an empty log is migrated — restored,
 // then compacted into the log — so `-campaign-snapshot` deployments can
-// adopt `-wal-dir` with no manual step. Inspect a log with cmd/waldump.
+// adopt `-wal-dir` with no manual step. Inspect a log with cmd/waldump;
+// regenerate rate fits from recorded traffic with cmd/walstats.
+//
+// Observability: every request is traced through the pipeline stages
+// (decode, engine queue, solve, quoter decode, campaign lock, WAL append);
+// GET /debug/requests serves the slowest recent traces and GET
+// /v1/analytics the live analytics plane — fleet λ̂ re-fit over a trailing
+// window, per-cohort campaign/quote summaries, per-stage latency. The same
+// numbers are scraped from /metrics as crowdpricing_stage_duration_seconds
+// and the crowdpricing_lambda_hat / crowdpricing_cohort_* families.
+// -debug-addr starts a second, private listener serving net/http/pprof —
+// off by default, and deliberately never on the public address.
 //
 // Endpoints: POST /v1/solve/{kind} (deadline | budget | tradeoff | multi),
 // POST /v1/solve/batch; POST /v1/campaigns, POST
 // /v1/campaigns/{id}/observe, GET /v1/campaigns/{id}[/price], DELETE
-// /v1/campaigns/{id}; GET /healthz, /metrics (Prometheus text format,
-// including queue-depth/in-flight/campaign gauges and per-kind solve and
-// rejection counters).
+// /v1/campaigns/{id}; GET /v1/analytics, /debug/requests, /healthz,
+// /metrics (Prometheus text format, including queue-depth/in-flight/
+// campaign gauges, per-kind solve and rejection counters, per-stage
+// duration histograms, and live λ̂/cohort analytics).
 //
 // Flags:
 //
@@ -81,6 +93,20 @@
 //	-wal-sync-interval duration
 //	      group-commit fsync window: a crash loses at most this much
 //	      acknowledged campaign history (default 5ms)
+//	-trace-requests int
+//	      how many of the slowest recent request traces /debug/requests
+//	      retains (default 64; 0 disables request tracing)
+//	-trace-seed int
+//	      seed for the trace-ID generator (default 1; IDs are the tracing
+//	      plane's only randomness and are deterministic under a fixed seed)
+//	-analytics-window int
+//	      trailing-window length, in observed intervals, of the live λ̂
+//	      re-fit (default 256)
+//	-log-format string
+//	      log output format, "text" or "json" (default "text")
+//	-debug-addr string
+//	      private listen address for net/http/pprof, e.g. "localhost:6060"
+//	      ("" disables; never expose this address publicly)
 package main
 
 import (
@@ -88,23 +114,24 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
 	"time"
 
+	"crowdpricing/internal/analytics"
 	"crowdpricing/internal/campaign"
 	"crowdpricing/internal/kinds"
 	"crowdpricing/internal/server"
+	"crowdpricing/internal/telemetry"
 	"crowdpricing/internal/wal"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("priced: ")
 	flag.Usage = func() {
 		o := flag.CommandLine.Output()
 		fmt.Fprintf(o, "usage: priced [flags]\n\n")
@@ -124,11 +151,38 @@ func main() {
 	campaignSnap := flag.String("campaign-snapshot", "", `campaign snapshot file: restored at boot, written on graceful shutdown ("" disables)`)
 	walDir := flag.String("wal-dir", "", `campaign event-log directory: replayed at boot, appended while serving ("" disables durability)`)
 	walSync := flag.Duration("wal-sync-interval", wal.DefaultSyncInterval, "group-commit fsync window for the campaign event log")
+	traceRequests := flag.Int("trace-requests", telemetry.DefaultKeep, "slowest recent request traces retained on /debug/requests; 0 disables tracing")
+	traceSeed := flag.Int64("trace-seed", 1, "seed for the trace-ID generator")
+	analyticsWindow := flag.Int("analytics-window", analytics.DefaultWindow, "trailing-window length (observed intervals) of the live λ̂ re-fit")
+	logFormat := flag.String("log-format", "text", `log output format: "text" or "json"`)
+	debugAddr := flag.String("debug-addr", "", `private listen address for net/http/pprof ("" disables)`)
 	flag.Parse()
+
+	var handler slog.Handler
+	switch *logFormat {
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		fmt.Fprintf(os.Stderr, "priced: unknown -log-format %q (want text or json)\n", *logFormat)
+		os.Exit(2)
+	}
+	logger := slog.New(handler)
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
 	if flag.NArg() > 0 {
-		log.Fatalf("unexpected arguments %q; priced takes flags only", flag.Args())
+		fatal("unexpected arguments; priced takes flags only", "args", flag.Args())
 	}
 
+	// The tracing plane distinguishes "default ring" from "off" by sign:
+	// the wire flag reads naturally (0 = off), Options reads negative = off.
+	traceBuffer := *traceRequests
+	if traceBuffer <= 0 {
+		traceBuffer = -1
+	}
 	srv := server.New(server.Options{
 		CacheSize:          *cacheSize,
 		SolverWorkers:      *workers,
@@ -138,6 +192,10 @@ func main() {
 		CampaignTTL:        *campaignTTL,
 		QuoterMemoryBudget: *quoterBudget,
 		LazyBank:           *lazyBank,
+		TraceBuffer:        traceBuffer,
+		TraceSeed:          *traceSeed,
+		AnalyticsWindow:    *analyticsWindow,
+		Logger:             logger,
 	})
 	defer srv.Close()
 
@@ -151,11 +209,11 @@ func main() {
 		var err error
 		wlog, err = srv.Campaigns().OpenWAL(*walDir, wal.Options{SyncInterval: *walSync})
 		if err != nil {
-			log.Fatalf("wal: %v", err)
+			fatal("wal open failed", "dir", *walDir, "error", err)
 		}
 		defer func() {
 			if err := wlog.Close(); err != nil {
-				log.Printf("wal close: %v", err)
+				logger.Error("wal close failed", "error", err)
 			}
 		}()
 		begin := time.Now()
@@ -164,21 +222,24 @@ func main() {
 			// Recovery already tolerated any torn tail; failing here means
 			// real corruption or an unsolvable event. Refuse to serve an
 			// empty table over live state.
-			log.Fatalf("wal replay from %s: %v", *walDir, err)
+			fatal("wal replay failed", "dir", *walDir, "error", err)
 		}
 		wlog.SetReplayDuration(time.Since(begin))
 		if wm := wlog.Metrics(); wm.TruncatedBytes > 0 {
-			log.Printf("wal: truncated %d torn byte(s) left by a crash mid-write", wm.TruncatedBytes)
+			logger.Warn("wal recovery truncated torn bytes left by a crash mid-write",
+				"bytes", wm.TruncatedBytes)
 		}
 		walReplayed = stats.Records > 0
-		log.Printf("wal: replayed %d record(s) (%d snapshot(s)) from %s: %d campaign(s) live in %s",
-			stats.Records, stats.Snapshots, *walDir, stats.Campaigns, time.Since(begin).Round(time.Millisecond))
+		logger.Info("wal replayed",
+			"dir", *walDir, "records", stats.Records, "snapshots", stats.Snapshots,
+			"campaigns", stats.Campaigns, "elapsed", time.Since(begin).Round(time.Millisecond))
 	}
 	if *campaignSnap != "" {
 		restoreFailed := false
 		if walReplayed {
 			if _, err := os.Stat(*campaignSnap); err == nil {
-				log.Printf("campaign snapshot %s ignored: the event log at %s is non-empty and wins", *campaignSnap, *walDir)
+				logger.Info("campaign snapshot ignored: the non-empty event log wins",
+					"snapshot", *campaignSnap, "wal_dir", *walDir)
 			}
 		} else if f, err := os.Open(*campaignSnap); err == nil {
 			restoreCtx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
@@ -187,22 +248,25 @@ func main() {
 			f.Close()
 			if err != nil {
 				restoreFailed = true
-				log.Printf("campaign restore from %s failed (continuing with an empty table): %v", *campaignSnap, err)
+				logger.Error("campaign restore failed; continuing with an empty table",
+					"snapshot", *campaignSnap, "error", err)
 			} else {
-				log.Printf("restored %d campaign(s) from %s", srv.Campaigns().Metrics().Active, *campaignSnap)
+				logger.Info("campaigns restored",
+					"snapshot", *campaignSnap, "campaigns", srv.Campaigns().Metrics().Active)
 			}
 		} else if !errors.Is(err, os.ErrNotExist) {
 			// The file exists but could not be read: treat it like a failed
 			// restore so shutdown never replaces it with an empty table.
 			restoreFailed = true
-			log.Printf("campaign snapshot %s unreadable: %v", *campaignSnap, err)
+			logger.Error("campaign snapshot unreadable", "snapshot", *campaignSnap, "error", err)
 		}
 		defer func() {
 			// Never clobber the last good snapshot with a worse one: if the
 			// boot-time restore failed and nothing was created since, the
 			// file on disk is still the best state we have.
 			if restoreFailed && srv.Campaigns().Metrics().Active == 0 {
-				log.Printf("campaign snapshot: keeping %s untouched (restore failed and the table is empty)", *campaignSnap)
+				logger.Warn("keeping campaign snapshot untouched (restore failed and the table is empty)",
+					"snapshot", *campaignSnap)
 				return
 			}
 			// Write-then-rename so a crash or full disk mid-write cannot
@@ -210,25 +274,25 @@ func main() {
 			tmp := *campaignSnap + ".tmp"
 			f, err := os.Create(tmp)
 			if err != nil {
-				log.Printf("campaign snapshot: %v", err)
+				logger.Error("campaign snapshot write failed", "error", err)
 				return
 			}
 			if err := srv.Campaigns().Snapshot(f); err != nil {
 				f.Close()
 				os.Remove(tmp)
-				log.Printf("campaign snapshot: %v", err)
+				logger.Error("campaign snapshot write failed", "error", err)
 				return
 			}
 			if err := f.Close(); err != nil {
 				os.Remove(tmp)
-				log.Printf("campaign snapshot: %v", err)
+				logger.Error("campaign snapshot write failed", "error", err)
 				return
 			}
 			if err := os.Rename(tmp, *campaignSnap); err != nil {
-				log.Printf("campaign snapshot: %v", err)
+				logger.Error("campaign snapshot rename failed", "error", err)
 				return
 			}
-			log.Printf("campaign table written to %s", *campaignSnap)
+			logger.Info("campaign table written", "snapshot", *campaignSnap)
 		}()
 	}
 	if wlog != nil {
@@ -238,13 +302,36 @@ func main() {
 				// a compaction snapshot, so the next boot replays it from the
 				// log alone.
 				if err := wlog.Compact(); err != nil {
-					log.Fatalf("wal: seeding the log from the restored snapshot: %v", err)
+					fatal("wal migration: seeding the log from the restored snapshot failed", "error", err)
 				}
-				log.Printf("wal: migrated %d restored campaign(s) into %s", active, *walDir)
+				logger.Info("wal migration: restored campaigns folded into the log",
+					"campaigns", active, "dir", *walDir)
 			}
 		}
 		srv.AttachWAL(wlog)
 	}
+
+	// The pprof surface is a second, private listener — profiling endpoints
+	// leak heap contents and symbol names, so they never share the public
+	// mux. Failure to serve it is fatal: a typo'd -debug-addr silently
+	// running without profiling would defeat the point of asking for it.
+	if *debugAddr != "" {
+		debugMux := http.NewServeMux()
+		debugMux.HandleFunc("/debug/pprof/", pprof.Index)
+		debugMux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		debugMux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		debugMux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		debugMux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		ds := &http.Server{Addr: *debugAddr, Handler: debugMux, ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			logger.Info("pprof listening", "addr", *debugAddr)
+			if err := ds.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fatal("pprof listener failed", "addr", *debugAddr, "error", err)
+			}
+		}()
+		defer ds.Close()
+	}
+
 	hs := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
@@ -257,18 +344,20 @@ func main() {
 	go func() {
 		defer close(shutdownDone)
 		<-ctx.Done()
-		log.Print("shutting down")
+		logger.Info("shutting down")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := hs.Shutdown(shutdownCtx); err != nil {
-			log.Printf("shutdown: %v", err)
+			logger.Error("shutdown failed", "error", err)
 		}
 	}()
 
-	log.Printf("listening on %s (kinds %s, cache %d policies, queue %d, timeout %s)",
-		*addr, strings.Join(kinds.Default().Kinds(), "|"), *cacheSize, *queueDepth, *timeout)
+	logger.Info("listening",
+		"addr", *addr, "kinds", strings.Join(kinds.Default().Kinds(), "|"),
+		"cache", *cacheSize, "queue", *queueDepth, "timeout", *timeout,
+		"tracing", traceBuffer > 0)
 	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Fatal(err)
+		fatal("listen failed", "addr", *addr, "error", err)
 	}
 	// ListenAndServe returns as soon as the listener closes; wait for
 	// Shutdown to finish draining in-flight requests before exiting.

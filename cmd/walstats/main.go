@@ -1,0 +1,96 @@
+// Command walstats replays a campaign event log through the analytics
+// plane — the log→figure pipeline: point it at a daemon's -wal-dir and it
+// folds every recorded create/observe/finish into the same aggregator
+// that serves /v1/analytics live, printing the fleet λ̂ re-fit, the
+// per-interval arrival profile (the piecewise NHPP rate fit), and the
+// per-cohort summaries as JSON. The fold is read-only (the daemon may
+// still be running) and deterministic: the same log prints byte-identical
+// output on every run, so recorded production traffic regenerates paper
+// figures reproducibly — a property the CI obs-smoke job asserts by
+// diffing two runs.
+//
+//	walstats -dir /var/lib/priced/wal
+//	walstats -dir wal -figures profile.tsv   # λ̂_t profile as TSV for plotting
+//
+// Flags:
+//
+//	-dir string
+//	      campaign event-log directory to replay (required)
+//	-window int
+//	      trailing-window length (observed intervals) of the λ̂ re-fit,
+//	      matching the daemon's -analytics-window (default 256)
+//	-figures string
+//	      also write the per-interval arrival profile as TSV — interval
+//	      index, fitted rate, mean arrivals, observe count — ready for
+//	      gnuplot/pgfplots ("" disables)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"crowdpricing/internal/analytics"
+	"crowdpricing/internal/campaign"
+	"crowdpricing/internal/wal"
+)
+
+func main() {
+	flag.Usage = func() {
+		o := flag.CommandLine.Output()
+		fmt.Fprintf(o, "usage: walstats -dir <wal-dir> [-window n] [-figures out.tsv]\n\n")
+		fmt.Fprintf(o, "Replay a campaign event log through the analytics plane and print the λ̂/cohort fold as JSON.\n\nflags:\n")
+		flag.PrintDefaults()
+	}
+	dir := flag.String("dir", "", "campaign event-log directory to replay (required)")
+	window := flag.Int("window", analytics.DefaultWindow, "trailing-window length (observed intervals) of the λ̂ re-fit")
+	figures := flag.String("figures", "", `write the per-interval arrival profile as TSV ("" disables)`)
+	flag.Parse()
+	if *dir == "" || flag.NArg() > 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	agg := analytics.New(*window)
+	if err := campaign.FoldWAL(wal.NewReader(nil, *dir), agg); err != nil {
+		fmt.Fprintf(os.Stderr, "walstats: %v\n", err)
+		os.Exit(1)
+	}
+	snap := agg.Snapshot()
+
+	// encoding/json marshals map keys sorted, so the output is
+	// byte-identical across runs over the same log by construction.
+	out, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "walstats: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s\n", out)
+
+	if *figures != "" {
+		if err := writeFigures(*figures, snap); err != nil {
+			fmt.Fprintf(os.Stderr, "walstats: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeFigures renders the λ̂_t profile — the piecewise arrival-rate fit
+// over interval index — as a TSV plotting tools consume directly.
+func writeFigures(path string, snap *analytics.Snapshot) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(f, "# interval\tlambda_hat\tmean_arrivals\tobserves")
+	r := snap.Rate()
+	for i, mean := range snap.IntervalMeans {
+		fitted := 0.0
+		if r != nil {
+			fitted = r.Rate(float64(i) + 0.5)
+		}
+		fmt.Fprintf(f, "%d\t%g\t%g\t%d\n", i, fitted, mean, snap.IntervalObserves[i])
+	}
+	return f.Close()
+}

@@ -46,8 +46,11 @@ var Packages = []string{
 const Namespace = "crowdpricing_"
 
 // AllowedLabels is the closed label set. Every label key rendered in an
-// exposition format string must be listed here.
-var AllowedLabels = []string{"kind", "endpoint", "le"}
+// exposition format string must be listed here. "stage" (pipeline stage
+// of the request-tracing histograms) and "cohort" (campaign cohort of the
+// analytics counters) are bounded by construction: stages are a compiled
+// enum and cohorts are kind × adaptive.
+var AllowedLabels = []string{"kind", "endpoint", "le", "stage", "cohort"}
 
 // Analyzer is the metric-naming checker.
 var Analyzer = &analysis.Analyzer{

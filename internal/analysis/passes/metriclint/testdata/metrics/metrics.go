@@ -32,6 +32,14 @@ const goodFormat = "crowdpricing_solve_latency_bucket{endpoint=%q,le=%q} %d\n"
 
 const badLabel = "crowdpricing_requests_total{shard=%q} %d\n" // want `label "shard" is not in the closed label set`
 
+// The observability labels are in the closed set; any other newcomer
+// still fails.
+const goodStageFormat = "crowdpricing_stage_duration_seconds_bucket{stage=%q,le=%q} %d\n"
+
+const goodCohortFormat = "crowdpricing_cohort_quotes_total{cohort=%q} %d\n"
+
+const badTenantLabel = "crowdpricing_cohort_quotes_total{tenant=%q} %d\n" // want `label "tenant" is not in the closed label set`
+
 func writeKindCounter(name, help string, v int64) string {
 	return fmt.Sprintf("%s{kind=%q} %d\n", name, "deadline", v)
 }

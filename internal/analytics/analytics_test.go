@@ -1,0 +1,237 @@
+package analytics_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"crowdpricing/internal/analytics"
+	"crowdpricing/internal/campaign"
+	"crowdpricing/internal/dist"
+	"crowdpricing/internal/engine"
+	"crowdpricing/internal/kinds"
+	"crowdpricing/internal/wal"
+)
+
+func TestWindowMeanWraps(t *testing.T) {
+	a := analytics.New(2)
+	for _, arrivals := range []float64{1, 2, 3} {
+		a.CampaignObserved("deadline", false, arrivals, 0, 0)
+	}
+	s := a.Snapshot()
+	if s.WindowObserves != 2 {
+		t.Fatalf("window observes = %d, want 2", s.WindowObserves)
+	}
+	if s.LambdaHat != 2.5 {
+		t.Fatalf("trailing λ̂ = %v, want 2.5 (last two observes)", s.LambdaHat)
+	}
+	if s.LambdaHatLifetime != 2 {
+		t.Fatalf("lifetime λ̂ = %v, want 2", s.LambdaHatLifetime)
+	}
+}
+
+func TestCohortKeysAndProfile(t *testing.T) {
+	a := analytics.New(4)
+	a.CampaignCreated("deadline", false)
+	a.CampaignCreated("deadline", true)
+	a.CampaignObserved("deadline", false, 4, 2, 0)
+	a.CampaignObserved("deadline", true, 8, 1, 0)
+	a.CampaignObserved("deadline", true, 2, 0, 1)
+	a.CampaignQuoted("deadline", true, 30)
+	a.CampaignQuoted("deadline", true, 10)
+	a.CampaignFinished("deadline", false)
+	a.CampaignExpired("deadline", true)
+	a.CampaignObserved("deadline", false, 5, 0, -1) // interval unknown: clipped from the profile
+
+	s := a.Snapshot()
+	if got := analytics.CohortKey("deadline", true); got != "deadline/adaptive" {
+		t.Fatalf("CohortKey adaptive = %q", got)
+	}
+	plain, ok := s.Cohorts["deadline"]
+	if !ok {
+		t.Fatalf("missing plain cohort; have %v", s.Cohorts)
+	}
+	adaptive, ok := s.Cohorts["deadline/adaptive"]
+	if !ok {
+		t.Fatalf("missing adaptive cohort; have %v", s.Cohorts)
+	}
+	if plain.Campaigns != 1 || plain.Finished != 1 || plain.Observes != 2 || plain.Arrivals != 9 || plain.Completions != 2 {
+		t.Fatalf("plain cohort = %+v", plain)
+	}
+	if adaptive.Observes != 2 || adaptive.Arrivals != 10 || adaptive.LambdaHat != 5 {
+		t.Fatalf("adaptive cohort = %+v", adaptive)
+	}
+	if adaptive.Quotes != 2 || adaptive.MeanPrice != 20 {
+		t.Fatalf("adaptive quote summary = %+v", adaptive)
+	}
+	if adaptive.Expired != 1 {
+		t.Fatalf("adaptive expired = %d, want 1", adaptive.Expired)
+	}
+	// Profile: interval 0 saw arrivals 4 and 8, interval 1 saw 2; the
+	// unknown-interval observe counts toward λ̂ but not the profile.
+	wantMeans := []float64{6, 2}
+	if len(s.IntervalMeans) != len(wantMeans) {
+		t.Fatalf("interval means = %v, want %v", s.IntervalMeans, wantMeans)
+	}
+	for i, want := range wantMeans {
+		if s.IntervalMeans[i] != want {
+			t.Fatalf("interval means = %v, want %v", s.IntervalMeans, wantMeans)
+		}
+	}
+	if s.ProfileClipped != 1 {
+		t.Fatalf("profile clipped = %d, want 1", s.ProfileClipped)
+	}
+	r := s.Rate()
+	if r == nil {
+		t.Fatal("Rate() = nil with a non-empty profile")
+	}
+	if r.Rate(0.5) != 6 || r.Rate(1.5) != 2 {
+		t.Fatalf("fitted rate = %v/%v, want 6/2", r.Rate(0.5), r.Rate(1.5))
+	}
+}
+
+// foldWAL replays the recorded log at dir into a fresh aggregator.
+func foldWAL(t *testing.T, fsys wal.FS, dir string, window int) *analytics.Aggregator {
+	t.Helper()
+	agg := analytics.New(window)
+	if err := campaign.FoldWAL(wal.NewReader(fsys, dir), agg); err != nil {
+		t.Fatalf("FoldWAL: %v", err)
+	}
+	return agg
+}
+
+// TestFoldDeterministicAndMatchesLive is the analytics half of the
+// acceptance gate: drive a fixed-seed Poisson workload through a real
+// Manager with both a live sink and a WAL attached, then check that
+// (1) two offline folds of the recorded log are bit-identical,
+// (2) the offline fold agrees exactly with the live fold, and
+// (3) λ̂ lands within tolerance of the generating rate.
+func TestFoldDeterministicAndMatchesLive(t *testing.T) {
+	const (
+		dir       = "analytics-wal"
+		lambda    = 6.0
+		campaigns = 6
+		intervals = 4
+		window    = 8 // smaller than total observes: exercises the ring wrap
+	)
+	eng := engine.New(engine.Options{Workers: 2})
+	t.Cleanup(eng.Close)
+	m := campaign.NewManager(eng, nil, campaign.Options{})
+	t.Cleanup(m.Close)
+
+	fsys := wal.NewMemFS()
+	l, err := m.OpenWAL(dir, wal.Options{FS: fsys})
+	if err != nil {
+		t.Fatalf("OpenWAL: %v", err)
+	}
+	m.AttachWAL(l)
+	live := analytics.New(window)
+	m.AttachSink(live)
+
+	def, ok := kinds.Default().Lookup(kinds.KindDeadline)
+	if !ok {
+		t.Fatal("deadline kind not registered")
+	}
+	rng := dist.NewRNG(7)
+	pois := dist.Poisson{Lambda: lambda}
+	ctx := context.Background()
+	var ids []string
+	for i := 0; i < campaigns; i++ {
+		body, err := json.Marshal(def.Sample(int64(i), "small"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var adaptive *campaign.AdaptiveOptions
+		if i%3 == 0 {
+			adaptive = &campaign.AdaptiveOptions{}
+		}
+		st, err := m.Create(ctx, kinds.KindDeadline, body, adaptive)
+		if err != nil {
+			t.Fatalf("Create %d: %v", i, err)
+		}
+		ids = append(ids, st.ID)
+		for interval := 0; interval < intervals; interval++ {
+			completed := make([]int, len(st.Remaining))
+			if interval == 0 && st.Remaining[0] > 0 {
+				completed[0] = 1
+			}
+			if _, err := m.Observe(st.ID, float64(pois.Sample(rng)), completed); err != nil {
+				t.Fatalf("Observe %d/%d: %v", i, interval, err)
+			}
+		}
+		if _, err := m.Quote(st.ID); err != nil {
+			t.Fatalf("Quote %d: %v", i, err)
+		}
+	}
+	for _, id := range ids[:2] {
+		if _, err := m.Finish(id); err != nil {
+			t.Fatalf("Finish %s: %v", id, err)
+		}
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	m.AttachWAL(nil)
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	fold1 := foldWAL(t, fsys, dir, window).Snapshot()
+	fold2 := foldWAL(t, fsys, dir, window).Snapshot()
+	j1, err := json.Marshal(fold1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := json.Marshal(fold2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1, j2) {
+		t.Fatalf("two folds of the same log differ:\n%s\n%s", j1, j2)
+	}
+
+	// The live sink saw the same observe stream in the same order, so the
+	// float folds must agree exactly — not approximately.
+	ls := live.Snapshot()
+	if fold1.LambdaHat != ls.LambdaHat || fold1.LambdaHatLifetime != ls.LambdaHatLifetime {
+		t.Fatalf("fold λ̂ (%v, %v) != live λ̂ (%v, %v)",
+			fold1.LambdaHat, fold1.LambdaHatLifetime, ls.LambdaHat, ls.LambdaHatLifetime)
+	}
+	if fold1.Observes != ls.Observes || fold1.Arrivals != ls.Arrivals || fold1.Completions != ls.Completions {
+		t.Fatalf("fold totals (%d, %v, %d) != live totals (%d, %v, %d)",
+			fold1.Observes, fold1.Arrivals, fold1.Completions, ls.Observes, ls.Arrivals, ls.Completions)
+	}
+	for key, lc := range ls.Cohorts {
+		fc, ok := fold1.Cohorts[key]
+		if !ok {
+			t.Fatalf("fold missing cohort %q", key)
+		}
+		if fc.Campaigns != lc.Campaigns || fc.Finished != lc.Finished ||
+			fc.Observes != lc.Observes || fc.Arrivals != lc.Arrivals || fc.Completions != lc.Completions {
+			t.Fatalf("cohort %q: fold %+v != live %+v", key, fc, lc)
+		}
+	}
+	// Quotes are deliberately never logged: the live fold saw them, the
+	// offline fold must report none.
+	if lc := ls.Cohorts["deadline"]; lc.Quotes == 0 {
+		t.Fatal("live fold recorded no quotes")
+	}
+	if fc := fold1.Cohorts["deadline"]; fc.Quotes != 0 {
+		t.Fatalf("offline fold reports %d quotes; quotes are not in the WAL", fc.Quotes)
+	}
+
+	// λ̂ versus the generating rate: 24 Poisson(6) draws have standard
+	// error √(6/24) ≈ 0.5, so a ±1.5 band is ~3σ — and the seed is fixed,
+	// so this is a regression pin, not a flaky statistical test.
+	if fold1.Observes != campaigns*intervals {
+		t.Fatalf("observes = %d, want %d", fold1.Observes, campaigns*intervals)
+	}
+	if math.Abs(fold1.LambdaHatLifetime-lambda) > 1.5 {
+		t.Fatalf("lifetime λ̂ = %v, generating λ = %v", fold1.LambdaHatLifetime, lambda)
+	}
+	if len(fold1.IntervalMeans) != intervals {
+		t.Fatalf("interval profile has %d buckets, want %d", len(fold1.IntervalMeans), intervals)
+	}
+}

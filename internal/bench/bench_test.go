@@ -211,6 +211,20 @@ func TestRunInProcessSmoke(t *testing.T) {
 		t.Error("table output missing header")
 	}
 
+	// With a daemon-side stage breakdown attached (the -url path), the
+	// table renders the stages in pipeline order and the block round-trips.
+	rep.ServerStages = map[string]server.StageSummary{
+		"engine_solve":  {Count: 4, MeanMS: 2.1, P50MS: 1.9, P99MS: 3.4, MaxMS: 3.4},
+		"server_decode": {Count: 40, MeanMS: 0.02, P50MS: 0.01, P99MS: 0.08, MaxMS: 0.2},
+	}
+	staged := rep.Table()
+	if !strings.Contains(staged, "server stages") || !strings.Contains(staged, "engine_solve") {
+		t.Errorf("table output missing server-stage block:\n%s", staged)
+	}
+	if strings.Index(staged, "server_decode") > strings.Index(staged, "engine_solve") {
+		t.Error("server-stage block not in pipeline order")
+	}
+
 	// The JSON document exposes the fields the ISSUE's schema names.
 	var raw map[string]any
 	data, _ := json.Marshal(rep)

@@ -12,6 +12,8 @@ import (
 	"time"
 
 	"crowdpricing/internal/hdr"
+	"crowdpricing/internal/server"
+	"crowdpricing/internal/telemetry"
 )
 
 // SchemaVersion identifies the BENCH_loadbench.json layout; bump it on any
@@ -33,7 +35,14 @@ import (
 // percentiles are the merged whole). Single-process reports carry no
 // workers block and are otherwise identical to v3, so every metric keeps
 // its meaning and -baseline comparison works unchanged on merged reports.
-const SchemaVersion = 4
+//
+// v5: the report gains an optional `server_stages` block — the daemon's
+// server-side per-stage latency summaries (decode, engine queue, solve,
+// quoter decode, campaign lock, WAL append) fetched from /v1/analytics
+// after the run when the target is a live daemon (-url). In-process runs
+// and daemons without tracing carry no block; every client-side metric is
+// unchanged from v4.
+const SchemaVersion = 5
 
 // LatencySummary is the percentile digest of one latency histogram, in
 // milliseconds. Successful requests only — errors are counted, not timed.
@@ -155,6 +164,12 @@ type Report struct {
 	// totals and percentiles are the merged whole; this block shows how
 	// evenly the slices landed.
 	Workers []WorkerReport `json:"workers,omitempty"`
+
+	// ServerStages is present when the target was a live daemon (-url)
+	// with tracing on: the daemon's per-stage latency summaries from
+	// /v1/analytics, keyed by stage name — where the request time went
+	// server-side, complementing the client-side latency above.
+	ServerStages map[string]server.StageSummary `json:"server_stages,omitempty"`
 
 	ErrorSamples []string `json:"error_samples,omitempty"`
 }
@@ -290,6 +305,20 @@ func (r *Report) Table() string {
 		row(kind, ep.Requests, ep.Errors, ep.Rejected, ep.CacheHitRatio, ep.Latency)
 	}
 	w.Flush()
+	if len(r.ServerStages) > 0 {
+		fmt.Fprintln(&b, "server stages (daemon-side, all traced requests):")
+		sw := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+		fmt.Fprintln(sw, "  stage\tcount\tmean\tp50\tp99\tmax")
+		for _, stage := range telemetry.StageNames() {
+			ss, ok := r.ServerStages[stage]
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(sw, "  %s\t%d\t%s\t%s\t%s\t%s\n", stage, ss.Count,
+				fmtMillis(ss.MeanMS), fmtMillis(ss.P50MS), fmtMillis(ss.P99MS), fmtMillis(ss.MaxMS))
+		}
+		sw.Flush()
+	}
 	if len(r.Workers) > 0 {
 		fmt.Fprintf(&b, "distributed: %d workers\n", len(r.Workers))
 		for _, wr := range r.Workers {

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"crowdpricing/internal/kinds"
+	"crowdpricing/internal/telemetry"
 )
 
 // paperCampaign creates one paper-scale deadline campaign (N=200, 72
@@ -89,5 +90,33 @@ func TestQuoteHotPathBound(t *testing.T) {
 	t.Logf("paper-scale quote latency: p50 %v, p99 %v", median, lat[samples*99/100])
 	if median > time.Millisecond {
 		t.Fatalf("median quote latency %v; the O(1) hot path has regressed", median)
+	}
+}
+
+// TestQuoteTracedAllocationBound fences the tracing tax on the quote hot
+// path: a live trace may add at most one heap allocation per quote over
+// the untraced baseline (span recording is two atomics and a clock read;
+// the budget exists only as slack for compiler-version drift).
+func TestQuoteTracedAllocationBound(t *testing.T) {
+	m := newTestManager(t, Options{})
+	id := paperCampaign(t, m, nil)
+	tracer := telemetry.NewTracer(4, 1)
+	tr := tracer.Start("/v1/campaigns/{id}/price")
+	defer tracer.Finish(tr, 200)
+
+	baseline := testing.AllocsPerRun(200, func() {
+		if _, err := m.Quote(id); err != nil {
+			t.Fatal(err)
+		}
+	})
+	traced := testing.AllocsPerRun(200, func() {
+		if _, err := m.QuoteTraced(tr, id); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("quote allocations: untraced %.1f, traced %.1f", baseline, traced)
+	if traced > baseline+1 {
+		t.Fatalf("tracing adds %.1f allocations per quote (untraced %.1f, traced %.1f); budget is 1",
+			traced-baseline, baseline, traced)
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"crowdpricing/internal/engine"
+	"crowdpricing/internal/telemetry"
 )
 
 // internTable is the policy-table memory engine: one refcounted entry per
@@ -267,7 +268,12 @@ func (h *internedQuoter) ensure(ctx context.Context, background bool) (policyTab
 	if err != nil {
 		return nil, false, err
 	}
+	// The engine recorded its own queue/solve spans through ctx; the
+	// decode is this layer's contribution.
+	tr := telemetry.FromContext(ctx)
+	decodeStart := tr.Now()
 	tab, err := decodeTable(h.kind, res.Value)
+	tr.ObserveSince(telemetry.StageQuoterDecode, decodeStart)
 	if err != nil {
 		return nil, false, err
 	}

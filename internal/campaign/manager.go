@@ -13,6 +13,7 @@ import (
 
 	"crowdpricing/internal/engine"
 	"crowdpricing/internal/kinds"
+	"crowdpricing/internal/telemetry"
 	"crowdpricing/internal/wal"
 )
 
@@ -84,6 +85,10 @@ type Manager struct {
 	// wlog, when attached, receives every state mutation as an event
 	// record (see wal.go); nil means durability is off.
 	wlog atomic.Pointer[wal.Log]
+
+	// sink, when attached, receives the lifecycle event stream (see
+	// sink.go); nil means no analytics plane is listening.
+	sink atomic.Pointer[sinkHolder]
 
 	quit     chan struct{}
 	stopOnce sync.Once
@@ -178,15 +183,19 @@ func (m *Manager) ExpireIdle() int {
 		// Expiry must reach the log, or a replay would resurrect the
 		// campaign. The sweeper has no caller to surface an append error
 		// to; the failure is sticky and the next client write reports it.
-		if _, err := m.walAppend(WALRecordExpire, walRefEvent{ID: c.id}); err != nil {
+		if _, err := m.walAppend(nil, WALRecordExpire, walRefEvent{ID: c.id}); err != nil {
 			break
 		}
 	}
 	m.mu.Unlock()
 	// Return the expired campaigns' intern references outside the table
 	// lock; shared tables stay resident for their surviving holders.
+	sink := m.eventSink()
 	for _, c := range removed {
 		m.intern.releaseAll(c.bank)
+		if sink != nil {
+			sink.CampaignExpired(c.kind, c.adaptive())
+		}
 	}
 	m.expired.Add(int64(len(removed)))
 	return len(removed)
@@ -299,7 +308,7 @@ func (m *Manager) Create(ctx context.Context, kind string, request json.RawMessa
 	// Log the create while still holding the table lock: any Observe on
 	// the new ID must first see it in the table (an RLock acquired after
 	// this Unlock), so its event always lands after this one in the log.
-	lsn, err := m.walAppend(WALRecordCreate, walCreateEvent{
+	lsn, err := m.walAppend(telemetry.FromContext(ctx), WALRecordCreate, walCreateEvent{
 		ID:              c.id,
 		Seq:             seq,
 		Kind:            kind,
@@ -316,6 +325,9 @@ func (m *Manager) Create(ctx context.Context, kind string, request json.RawMessa
 	registered = true
 	m.mu.Unlock()
 	m.created.Add(1)
+	if sink := m.eventSink(); sink != nil {
+		sink.CampaignCreated(kind, adaptive != nil)
+	}
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -441,10 +453,24 @@ func (m *Manager) get(id string) (*campaign, error) {
 // re-estimate the rate scale and may switch policies — visible in the
 // returned State's ActiveFactor and Replans.
 func (m *Manager) Observe(id string, arrivals float64, completed []int) (*State, error) {
+	return m.ObserveTraced(nil, id, arrivals, completed)
+}
+
+// ObserveTraced is Observe with request-tracing spans: the per-campaign
+// mutex (acquisition + critical section) lands on StageLockHold and the
+// event-log append on StageWALAppend. A nil trace records nothing.
+func (m *Manager) ObserveTraced(tr *telemetry.Trace, id string, arrivals float64, completed []int) (*State, error) {
 	c, err := m.get(id)
 	if err != nil {
 		return nil, err
 	}
+	lockStart := tr.Now()
+	st, err := m.observeCampaign(tr, c, arrivals, completed)
+	tr.ObserveSince(telemetry.StageLockHold, lockStart)
+	return st, err
+}
+
+func (m *Manager) observeCampaign(tr *telemetry.Trace, c *campaign, arrivals float64, completed []int) (*State, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	before := c.replans
@@ -455,7 +481,7 @@ func (m *Manager) Observe(id string, arrivals float64, completed []int) (*State,
 	// never reach the log (replay applies every logged event). The append
 	// happens under c.mu, so a campaign's events are logged in the order
 	// they were applied.
-	lsn, err := m.walAppend(WALRecordObserve, walObserveEvent{ID: c.id, Arrivals: arrivals, Completed: completed})
+	lsn, err := m.walAppend(tr, WALRecordObserve, walObserveEvent{ID: c.id, Arrivals: arrivals, Completed: completed})
 	if err != nil {
 		return nil, fmt.Errorf("campaign: logging observe: %w", err)
 	}
@@ -464,6 +490,9 @@ func (m *Manager) Observe(id string, arrivals float64, completed []int) (*State,
 	}
 	c.lastTouched = m.opts.now()
 	m.replans.Add(c.replans - before)
+	if sink := m.eventSink(); sink != nil {
+		sink.CampaignObserved(c.kind, c.adaptive(), arrivals, sumCompleted(completed), c.interval-1)
+	}
 	// Lazy banks: a re-plan that landed on a still-unsolved factor solves
 	// it now, asynchronously on the engine's background lane (deduped per
 	// handle), so the estimate's first drift toward a neighbor pre-warms
@@ -476,6 +505,16 @@ func (m *Manager) Observe(id string, arrivals float64, completed []int) (*State,
 	return c.stateLocked(), nil
 }
 
+// sumCompleted collapses a per-type completion vector for the event
+// stream (nil means no completions).
+func sumCompleted(completed []int) int {
+	total := 0
+	for _, n := range completed {
+		total += n
+	}
+	return total
+}
+
 // Quote serves the policy's price for the campaign's current state — the
 // hot path: when the active table is resident, one mutex acquisition, one
 // atomic table load, and one lookup into the campaign's reusable price
@@ -483,16 +522,34 @@ func (m *Manager) Observe(id string, arrivals float64, completed []int) (*State,
 // evicted under the memory budget (or a lazy bank slot quoted before its
 // prefetch lands) is re-decoded outside the campaign's mutex first.
 func (m *Manager) Quote(id string) (*Quote, error) {
+	return m.QuoteTraced(nil, id)
+}
+
+// QuoteTraced is Quote with request-tracing spans: the per-campaign
+// mutex lands on StageLockHold (in the rare evicted-table case the span
+// covers the whole quote critical path, including the re-ensure, whose
+// decode also shows separately on StageQuoterDecode). A nil trace
+// records nothing and adds nothing to the hot path beyond two nil
+// checks; a live trace adds two atomic operations and zero allocations
+// (fenced by TestQuoteTracedAllocationBound).
+func (m *Manager) QuoteTraced(tr *telemetry.Trace, id string) (*Quote, error) {
 	c, err := m.get(id)
 	if err != nil {
 		return nil, err
 	}
+	lockStart := tr.Now()
+	q, err := m.quoteCampaign(tr, c)
+	tr.ObserveSince(telemetry.StageLockHold, lockStart)
+	return q, err
+}
+
+func (m *Manager) quoteCampaign(tr *telemetry.Trace, c *campaign) (*Quote, error) {
 	c.mu.Lock()
 	h := c.active()
 	var tab Quoter = h.load()
 	for tab == nil {
 		c.mu.Unlock()
-		etab, _, err := h.ensure(context.Background(), false)
+		etab, _, err := h.ensure(telemetry.NewContext(context.Background(), tr), false)
 		if err != nil {
 			return nil, fmt.Errorf("campaign: re-decoding policy table: %w", err)
 		}
@@ -527,6 +584,9 @@ func (m *Manager) Quote(id string) (*Quote, error) {
 	if c.adaptive() {
 		q.ActiveFactor = c.factors[c.activeIdx]
 	}
+	if sink := m.eventSink(); sink != nil {
+		sink.CampaignQuoted(c.kind, c.adaptive(), q.Price)
+	}
 	return q, nil
 }
 
@@ -551,7 +611,7 @@ func (m *Manager) Finish(id string) (*Summary, error) {
 	}
 	var logErr error
 	if ok {
-		_, logErr = m.walAppend(WALRecordFinish, walRefEvent{ID: id})
+		_, logErr = m.walAppend(nil, WALRecordFinish, walRefEvent{ID: id})
 	}
 	m.mu.Unlock()
 	if !ok {
@@ -562,6 +622,9 @@ func (m *Manager) Finish(id string) (*Summary, error) {
 	m.releaseCampaign(c)
 	if logErr != nil {
 		return nil, fmt.Errorf("campaign: logging finish: %w", logErr)
+	}
+	if sink := m.eventSink(); sink != nil {
+		sink.CampaignFinished(c.kind, c.adaptive())
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()

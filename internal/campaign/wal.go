@@ -8,6 +8,7 @@ import (
 	"sort"
 	"time"
 
+	"crowdpricing/internal/telemetry"
 	"crowdpricing/internal/wal"
 )
 
@@ -100,17 +101,22 @@ func (m *Manager) walSnapshotPayload() ([]byte, error) {
 // walAppend emits one event (no-op without an attached log). The append
 // is asynchronous — group commit makes it durable within the fsync
 // window — but an error (the log is fail-stopped) is surfaced so callers
-// stop acknowledging mutations that can never be made durable.
-func (m *Manager) walAppend(typ byte, event any) (uint64, error) {
+// stop acknowledging mutations that can never be made durable. The
+// marshal-plus-append lands on tr's StageWALAppend span (nil records
+// nothing); the fsync itself is off-path and never traced.
+func (m *Manager) walAppend(tr *telemetry.Trace, typ byte, event any) (uint64, error) {
 	l := m.wlog.Load()
 	if l == nil {
 		return 0, nil
 	}
+	start := tr.Now()
 	body, err := json.Marshal(event)
 	if err != nil {
 		return 0, err
 	}
-	return l.Append(typ, body)
+	lsn, err := l.Append(typ, body)
+	tr.ObserveSince(telemetry.StageWALAppend, start)
+	return lsn, err
 }
 
 // WALSource is the slice of *wal.Log that ReplayWAL needs; wal.NewReader
@@ -300,6 +306,121 @@ func (m *Manager) ReplayWAL(ctx context.Context, src WALSource) (*WALReplayStats
 	stats.Campaigns = len(rebuilt)
 	committed = true
 	return stats, nil
+}
+
+// FoldWAL streams src's records into sink as lifecycle events — the
+// offline twin of the live AttachSink stream, so an analytics aggregator
+// folds a recorded event log and live traffic through one code path and
+// cmd/walstats regenerates rate fits from recorded traffic. Unlike
+// ReplayWAL it runs no solver: the fold is pure bookkeeping, so it works
+// read-only (wal.NewReader) and in O(records).
+//
+// Compaction snapshots are folded approximately for campaigns whose
+// per-interval history was compacted away: one create plus the recorded
+// arrival total spread uniformly across the recorded interval count
+// (exact totals, smoothed profile); quotes are never logged, so folded
+// aggregates report zero quote activity by construction.
+func FoldWAL(src WALSource, sink EventSink) error {
+	type liveCampaign struct {
+		kind     string
+		adaptive bool
+		interval int
+		lastLSN  uint64
+	}
+	live := make(map[string]*liveCampaign)
+	return src.Replay(func(rec wal.Record) error {
+		switch rec.Type {
+		case WALRecordCreate:
+			var ev walCreateEvent
+			if err := json.Unmarshal(rec.Data, &ev); err != nil {
+				return fmt.Errorf("campaign: bad create record (lsn %d): %w", rec.LSN, err)
+			}
+			if lc, ok := live[ev.ID]; ok && rec.LSN <= lc.lastLSN {
+				return nil // already folded via a snapshot entry
+			}
+			live[ev.ID] = &liveCampaign{kind: ev.Kind, adaptive: ev.Adaptive != nil, lastLSN: rec.LSN}
+			sink.CampaignCreated(ev.Kind, ev.Adaptive != nil)
+		case WALRecordObserve:
+			var ev walObserveEvent
+			if err := json.Unmarshal(rec.Data, &ev); err != nil {
+				return fmt.Errorf("campaign: bad observe record (lsn %d): %w", rec.LSN, err)
+			}
+			lc, ok := live[ev.ID]
+			if !ok || rec.LSN <= lc.lastLSN {
+				return nil // campaign removed, or event folded into its snapshot entry
+			}
+			sink.CampaignObserved(lc.kind, lc.adaptive, ev.Arrivals, sumCompleted(ev.Completed), lc.interval)
+			lc.interval++
+			lc.lastLSN = rec.LSN
+		case WALRecordFinish, WALRecordExpire:
+			var ev walRefEvent
+			if err := json.Unmarshal(rec.Data, &ev); err != nil {
+				return fmt.Errorf("campaign: bad removal record (lsn %d): %w", rec.LSN, err)
+			}
+			lc, ok := live[ev.ID]
+			if !ok || rec.LSN <= lc.lastLSN {
+				return nil
+			}
+			delete(live, ev.ID)
+			if rec.Type == WALRecordFinish {
+				sink.CampaignFinished(lc.kind, lc.adaptive)
+			} else {
+				sink.CampaignExpired(lc.kind, lc.adaptive)
+			}
+		case WALRecordSnapshot:
+			var file snapshotFile
+			if err := json.Unmarshal(rec.Data, &file); err != nil {
+				return fmt.Errorf("campaign: bad snapshot record (lsn %d): %w", rec.LSN, err)
+			}
+			if file.SchemaVersion != SnapshotSchemaVersion {
+				return fmt.Errorf("campaign: snapshot record schema version %d, this binary expects %d",
+					file.SchemaVersion, SnapshotSchemaVersion)
+			}
+			inSnapshot := make(map[string]bool, len(file.Campaigns))
+			for i := range file.Campaigns {
+				cs := &file.Campaigns[i]
+				inSnapshot[cs.ID] = true
+				if lc, ok := live[cs.ID]; ok {
+					// Already folded from its own records; the entry only
+					// advances the dedup high-water mark.
+					if cs.LastLSN > lc.lastLSN {
+						lc.lastLSN = cs.LastLSN
+					}
+					lc.interval = cs.Interval
+					continue
+				}
+				adaptive := cs.Adaptive != nil
+				sink.CampaignCreated(cs.Kind, adaptive)
+				if cs.Interval > 0 {
+					mean := cs.ObservedTotal / float64(cs.Interval)
+					for t := 0; t < cs.Interval; t++ {
+						sink.CampaignObserved(cs.Kind, adaptive, mean, 0, t)
+					}
+				}
+				live[cs.ID] = &liveCampaign{kind: cs.Kind, adaptive: adaptive, interval: cs.Interval, lastLSN: cs.LastLSN}
+			}
+			// Campaigns folded earlier but absent from the snapshot were
+			// removed in the compacted-away history; their removal records
+			// are gone, so close them out as finished — in sorted ID order,
+			// keeping the event stream (and any float folds downstream)
+			// deterministic.
+			var gone []string
+			for id := range live {
+				if !inSnapshot[id] {
+					gone = append(gone, id)
+				}
+			}
+			sort.Strings(gone)
+			for _, id := range gone {
+				lc := live[id]
+				delete(live, id)
+				sink.CampaignFinished(lc.kind, lc.adaptive)
+			}
+		default:
+			return fmt.Errorf("campaign: unknown record type %d (lsn %d) — log written by a newer binary?", rec.Type, rec.LSN)
+		}
+		return nil
+	})
 }
 
 // rebuildFromEvent reconstructs a campaign from its create event exactly

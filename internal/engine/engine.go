@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"crowdpricing/internal/telemetry"
 )
 
 // Defaults for Options zero values.
@@ -87,6 +89,10 @@ type call struct {
 	// artifact landed between the requester's miss and the dequeue, so no
 	// caller of this call waited on a solver.
 	cached bool
+	// started is the telemetry session-clock instant a worker dequeued
+	// the call; waiters read it after done closes to split their wait into
+	// queue-wait and solve spans. Zero if the call never reached a worker.
+	started int64
 }
 
 // kindCounters holds the per-kind observability counters.
@@ -197,6 +203,8 @@ func (e *Engine) solve(ctx context.Context, spec Spec, lane chan *call) (*Result
 
 	//crowdlint:allow determinism -- SolveMillis is wall-clock instrumentation, not part of the artifact
 	begin := time.Now()
+	tr := telemetry.FromContext(ctx)
+	enqueued := tr.Now()
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
@@ -231,6 +239,15 @@ func (e *Engine) solve(ctx context.Context, spec Spec, lane chan *call) (*Result
 	}
 	if c.err != nil {
 		return nil, c.err
+	}
+	if tr != nil {
+		// c.started was written before done closed, so the plain read is
+		// ordered. Joiners that arrived after the dequeue clamp to a
+		// zero-length queue wait inside Observe.
+		if started := c.started; started > 0 {
+			tr.Observe(telemetry.StageQueueWait, time.Duration(started-enqueued))
+			tr.ObserveSince(telemetry.StageSolve, started)
+		}
 	}
 	res := &Result{Fingerprint: key, Value: c.val, CacheHit: c.cached}
 	if !c.cached {
@@ -280,6 +297,7 @@ func (e *Engine) serve(c *call) {
 
 // run executes one admitted call and publishes its result.
 func (e *Engine) run(c *call) {
+	c.started = telemetry.Nanotime()
 	defer func() {
 		// A panic on a pathological problem must not take down the daemon
 		// or leave the call registered (which would hang every joiner).

@@ -10,6 +10,7 @@ import (
 
 	"crowdpricing/internal/campaign"
 	"crowdpricing/internal/engine"
+	"crowdpricing/internal/telemetry"
 )
 
 // The campaign API is the service's stateful surface: where /v1/solve/*
@@ -147,12 +148,13 @@ func (s *Server) handleCampaignObserve(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
-	st, err := s.campaigns.Observe(r.PathValue("id"), req.Arrivals, req.Completed)
+	st, err := s.campaigns.ObserveTraced(telemetry.FromContext(r.Context()),
+		r.PathValue("id"), req.Arrivals, req.Completed)
 	s.respondCampaign(w, st, err)
 }
 
 func (s *Server) handleCampaignPrice(w http.ResponseWriter, r *http.Request) {
-	q, err := s.campaigns.Quote(r.PathValue("id"))
+	q, err := s.campaigns.QuoteTraced(telemetry.FromContext(r.Context()), r.PathValue("id"))
 	s.respondCampaign(w, q, err)
 }
 

@@ -10,6 +10,8 @@ import (
 	"net/url"
 	"strconv"
 	"time"
+
+	"crowdpricing/internal/telemetry"
 )
 
 // Client is a typed HTTP client for the pricing service. The zero value is
@@ -204,6 +206,25 @@ func (c *Client) SolveBatch(ctx context.Context, req BatchRequest) (*BatchRespon
 		return nil, err
 	}
 	return &out, nil
+}
+
+// Analytics reads the daemon's live analytics plane: the fleet λ̂ and
+// cohort fold plus, when tracing is on, per-stage latency summaries.
+func (c *Client) Analytics(ctx context.Context) (*AnalyticsResponse, error) {
+	var out AnalyticsResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/analytics", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// DebugRequests reads the daemon's slowest recent request traces.
+func (c *Client) DebugRequests(ctx context.Context) ([]telemetry.TraceSummary, error) {
+	var out []telemetry.TraceSummary
+	if err := c.do(ctx, http.MethodGet, "/debug/requests", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Healthz reads the daemon's liveness status.

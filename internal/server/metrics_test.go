@@ -80,6 +80,15 @@ func TestMetricsPrometheusConventions(t *testing.T) {
 		"crowdpricing_quoter_intern_hits_total",
 		"crowdpricing_quoter_intern_misses_total",
 		"crowdpricing_quoter_redecodes_total",
+		"crowdpricing_stage_duration_seconds",
+		"crowdpricing_lambda_hat",
+		"crowdpricing_lambda_hat_lifetime",
+		"crowdpricing_cohort_campaigns_total",
+		"crowdpricing_cohort_observes_total",
+		"crowdpricing_cohort_arrivals_total",
+		"crowdpricing_cohort_completions_total",
+		"crowdpricing_cohort_quotes_total",
+		"crowdpricing_cohort_finished_total",
 	} {
 		if _, ok := types[want]; !ok {
 			t.Errorf("expected metric family %q absent from /metrics", want)

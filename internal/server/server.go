@@ -21,8 +21,11 @@
 //	POST /v1/solve/batch      many problems of any kinds, one round trip
 //	GET  /healthz             liveness + uptime
 //	GET  /metrics             Prometheus-format counters, queue gauges,
-//	                          per-kind solve/rejection counters, latency
-//	                          histogram
+//	                          per-kind solve/rejection counters, latency +
+//	                          per-stage histograms, live λ̂/cohort analytics
+//	GET  /v1/analytics        the live analytics plane: fleet λ̂, per-cohort
+//	                          summaries, per-stage latency summaries
+//	GET  /debug/requests      the slowest recent request traces, span by span
 //
 // cmd/priced wraps this package in a binary; the root crowdpricing package
 // re-exports the client-facing types. Problem kinds are defined in
@@ -35,6 +38,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strconv"
@@ -42,10 +46,12 @@ import (
 	"sync/atomic"
 	"time"
 
+	"crowdpricing/internal/analytics"
 	"crowdpricing/internal/campaign"
 	"crowdpricing/internal/engine"
 	"crowdpricing/internal/hdr"
 	"crowdpricing/internal/kinds"
+	"crowdpricing/internal/telemetry"
 	"crowdpricing/internal/wal"
 )
 
@@ -101,6 +107,20 @@ type Options struct {
 	// LazyBank defers adaptive bank solving to first use; see
 	// campaign.Options.LazyBank.
 	LazyBank bool
+	// TraceBuffer is how many of the slowest recent request traces
+	// /debug/requests retains (0 = telemetry.DefaultKeep; negative
+	// disables request tracing entirely, including the per-stage
+	// histograms).
+	TraceBuffer int
+	// TraceSeed seeds the trace-ID generator — the only randomness in the
+	// tracing plane, deterministic under a fixed seed by design.
+	TraceSeed int64
+	// AnalyticsWindow is the trailing-window length, in observed
+	// intervals, of the live λ̂ re-fit (0 = analytics.DefaultWindow).
+	AnalyticsWindow int
+	// Logger receives structured request-failure logs, carrying the
+	// request's trace ID when tracing is on (nil = discard).
+	Logger *slog.Logger
 }
 
 // Server is the pricing service. Create with New, expose with Handler; a
@@ -127,6 +147,14 @@ type Server struct {
 	// wal, when attached, is the campaign event log whose counters are
 	// rendered on /metrics.
 	wal atomic.Pointer[wal.Log]
+
+	// tracer is the request-tracing plane (nil when disabled): per-stage
+	// duration histograms plus the keep-slowest trace ring behind
+	// /debug/requests. analytics is the live λ̂/cohort fold, fed by the
+	// campaign manager's event sink and, at AttachWAL, the recorded log.
+	tracer    *telemetry.Tracer
+	analytics *analytics.Aggregator
+	logger    *slog.Logger
 }
 
 // New builds a Server; see Options for the knobs.
@@ -152,11 +180,20 @@ func New(opts Options) *Server {
 		start:   time.Now(),
 		latency: make(map[string]*hdr.Histogram),
 	}
+	s.logger = opts.Logger
+	if s.logger == nil {
+		s.logger = slog.New(slog.DiscardHandler)
+	}
+	if opts.TraceBuffer >= 0 {
+		s.tracer = telemetry.NewTracer(opts.TraceBuffer, opts.TraceSeed)
+	}
+	s.analytics = analytics.New(opts.AnalyticsWindow)
 	s.campaigns = campaign.NewManager(s.engine, reg, campaign.Options{
 		TTL:                opts.CampaignTTL,
 		QuoterMemoryBudget: opts.QuoterMemoryBudget,
 		LazyBank:           opts.LazyBank,
 	})
+	s.campaigns.AttachSink(s.analytics)
 	// One generic handler per registered kind: the route set is the
 	// registry, so adding a problem kind adds its endpoint with no code
 	// here. Kind names that would collide with the server's own routes are
@@ -179,6 +216,8 @@ func New(opts Options) *Server {
 	s.route("DELETE /v1/campaigns/{id}", s.counted(s.handleCampaignFinish))
 	s.route("/healthz", s.handleHealthz)
 	s.route("/metrics", s.handleMetrics)
+	s.route("GET /v1/analytics", s.handleAnalytics)
+	s.route("GET /debug/requests", s.handleDebugRequests)
 	return s
 }
 
@@ -190,16 +229,59 @@ func (s *Server) Close() {
 	s.engine.Close()
 }
 
-// route registers h at path wrapped with per-endpoint latency recording.
+// statusWriter captures the response status (and whether anything was
+// written) so the route wrapper can attribute a status to every trace and
+// still answer 500 when a handler panics before writing.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	wrote  bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.status = code
+		w.wrote = true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
+}
+
+// route registers h at path wrapped with request tracing and per-endpoint
+// latency recording. The recording runs in a deferred recover, so every
+// request lands in the histogram — panicking handlers and 429-shed
+// requests included, not just the happy path — and a panic answers 500
+// (when nothing was written yet) instead of killing the connection.
 func (s *Server) route(path string, h http.HandlerFunc) {
 	hist := hdr.New()
 	s.latency[path] = hist
 	s.mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
 		//crowdlint:allow determinism -- request-latency histogram wants wall time
 		begin := time.Now()
-		h(w, r)
-		//crowdlint:allow determinism -- request-latency histogram wants wall time
-		hist.Record(time.Since(begin))
+		tr := s.tracer.Start(path)
+		if tr != nil {
+			r = r.WithContext(telemetry.NewContext(r.Context(), tr))
+		}
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		defer func() {
+			if rec := recover(); rec != nil {
+				if sw.wrote {
+					s.errorCount.Add(1)
+				} else {
+					s.fail(sw, http.StatusInternalServerError, errors.New("internal error"))
+				}
+				s.logger.Error("request handler panicked",
+					"endpoint", path, "trace_id", tr.ID(), "panic", fmt.Sprint(rec))
+			}
+			//crowdlint:allow determinism -- request-latency histogram wants wall time
+			hist.Record(time.Since(begin))
+			s.tracer.Finish(tr, sw.status)
+		}()
+		h(sw, r)
 	})
 }
 
@@ -207,11 +289,19 @@ func (s *Server) route(path string, h http.HandlerFunc) {
 func (s *Server) Handler() http.Handler { return s.mux }
 
 // AttachWAL makes the campaign event log live: the campaign manager
-// starts emitting events to it and /metrics renders its counters. Call it
-// after replaying the log at boot (Campaigns().ReplayWAL) and before
-// serving mutations.
+// starts emitting events to it and /metrics renders its counters. The
+// log's recorded history is folded into the analytics plane first, so λ̂
+// and the cohort summaries carry pre-restart traffic (ReplayWAL rebuilds
+// state without emitting sink events — the fold here is the only source
+// of recorded history, never a double count). Call it after replaying the
+// log at boot (Campaigns().ReplayWAL) and before serving mutations.
 func (s *Server) AttachWAL(l *wal.Log) {
 	s.wal.Store(l)
+	if err := campaign.FoldWAL(l, s.analytics); err != nil {
+		// Analytics over a partly unreadable log is degraded, not fatal —
+		// the transactional plane already replayed what it could.
+		s.logger.Warn("analytics: folding event-log history failed", "error", err)
+	}
 	s.campaigns.AttachWAL(l)
 }
 
@@ -344,9 +434,13 @@ func (s *Server) respond(w http.ResponseWriter, resp *SolveResponse, err error) 
 const maxBodyBytes = 32 << 20
 
 func decodeInto(w http.ResponseWriter, r *http.Request, v any) error {
+	tr := telemetry.FromContext(r.Context())
+	start := tr.Now()
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
-	if err := dec.Decode(v); err != nil {
+	err := dec.Decode(v)
+	tr.ObserveSince(telemetry.StageServerDecode, start)
+	if err != nil {
 		return fmt.Errorf("bad request body: %w", err)
 	}
 	return nil
@@ -533,7 +627,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.writeKindCounter(w, "crowdpricing_rejections_total",
 		"Cold solves shed with 429 because the admission queue was full, by problem kind.", m.RejectedByKind)
 	s.writeWALMetrics(w)
+	s.writeAnalyticsMetrics(w)
 	s.writeLatencyHistogram(w)
+	s.writeStageHistograms(w)
 }
 
 // writeWALMetrics renders the campaign event log's families — only when a
