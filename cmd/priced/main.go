@@ -115,6 +115,7 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -313,8 +314,11 @@ func main() {
 
 	// The pprof surface is a second, private listener — profiling endpoints
 	// leak heap contents and symbol names, so they never share the public
-	// mux. Failure to serve it is fatal: a typo'd -debug-addr silently
-	// running without profiling would defeat the point of asking for it.
+	// mux. The bind happens eagerly so a typo'd -debug-addr (or a taken
+	// port) fails fast, before the daemon serves traffic; once serving, an
+	// asynchronous error on this listener must not exit the process — that
+	// would skip the deferred WAL close and shutdown snapshot — so the
+	// serve goroutine logs and the daemon carries on without profiling.
 	if *debugAddr != "" {
 		debugMux := http.NewServeMux()
 		debugMux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -322,11 +326,15 @@ func main() {
 		debugMux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		debugMux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		debugMux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-		ds := &http.Server{Addr: *debugAddr, Handler: debugMux, ReadHeaderTimeout: 10 * time.Second}
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fatal("pprof listen failed", "addr", *debugAddr, "error", err)
+		}
+		ds := &http.Server{Handler: debugMux, ReadHeaderTimeout: 10 * time.Second}
 		go func() {
 			logger.Info("pprof listening", "addr", *debugAddr)
-			if err := ds.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-				fatal("pprof listener failed", "addr", *debugAddr, "error", err)
+			if err := ds.Serve(dln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("pprof listener failed; profiling unavailable", "addr", *debugAddr, "error", err)
 			}
 		}()
 		defer ds.Close()

@@ -31,6 +31,7 @@ package analytics
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"crowdpricing/internal/rate"
 )
@@ -69,6 +70,12 @@ type Aggregator struct {
 	profileClipped int64
 
 	cohorts map[string]*cohortAgg
+
+	// byKey is a copy-on-write index of cohorts for the quote hot path:
+	// rebuilt under mu whenever a cohort is created, read with one atomic
+	// load by CampaignQuoted so quotes never contend on mu (which would
+	// serialize every quote and observe fleet-wide on a single lock).
+	byKey atomic.Pointer[map[string]*cohortAgg]
 }
 
 type cohortAgg struct {
@@ -78,8 +85,11 @@ type cohortAgg struct {
 	observes    int64
 	arrivals    float64
 	completions int64
-	quotes      int64
-	priceSum    int64
+
+	// quotes and priceSum are written with atomic adds off the aggregator
+	// mutex — the quote hot path — and read with atomic loads in Snapshot.
+	quotes   atomic.Int64
+	priceSum atomic.Int64
 }
 
 // New builds an Aggregator with a trailing λ̂ window of window observes
@@ -112,6 +122,11 @@ func (a *Aggregator) cohort(kind string, adaptive bool) *cohortAgg {
 	if !ok {
 		c = &cohortAgg{}
 		a.cohorts[key] = c
+		read := make(map[string]*cohortAgg, len(a.cohorts))
+		for k, v := range a.cohorts {
+			read[k] = v
+		}
+		a.byKey.Store(&read)
 	}
 	return c
 }
@@ -151,13 +166,22 @@ func (a *Aggregator) CampaignObserved(kind string, adaptive bool, arrivals float
 }
 
 // CampaignQuoted implements campaign.EventSink. It is on the quote hot
-// path: one leaf mutex and plain integer accumulation, no allocation.
+// path: after a cohort's first quote it is two atomic adds against the
+// copy-on-write index — no lock, no allocation — so quotes across all
+// campaigns never serialize on the aggregator mutex. Only a cohort's
+// very first quote (before any create/observe registered it) takes mu.
 func (a *Aggregator) CampaignQuoted(kind string, adaptive bool, price int) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	c := a.cohort(kind, adaptive)
-	c.quotes++
-	c.priceSum += int64(price)
+	var c *cohortAgg
+	if m := a.byKey.Load(); m != nil {
+		c = (*m)[CohortKey(kind, adaptive)]
+	}
+	if c == nil {
+		a.mu.Lock()
+		c = a.cohort(kind, adaptive)
+		a.mu.Unlock()
+	}
+	c.quotes.Add(1)
+	c.priceSum.Add(int64(price))
 }
 
 // CampaignFinished implements campaign.EventSink.
@@ -223,14 +247,14 @@ func (a *Aggregator) Snapshot() *Snapshot {
 			Observes:    c.observes,
 			Arrivals:    c.arrivals,
 			Completions: c.completions,
-			Quotes:      c.quotes,
-			PriceSum:    c.priceSum,
+			Quotes:      c.quotes.Load(),
+			PriceSum:    c.priceSum.Load(),
 		}
 		if c.observes > 0 {
 			cs.LambdaHat = c.arrivals / float64(c.observes)
 		}
-		if c.quotes > 0 {
-			cs.MeanPrice = float64(c.priceSum) / float64(c.quotes)
+		if cs.Quotes > 0 {
+			cs.MeanPrice = float64(cs.PriceSum) / float64(cs.Quotes)
 		}
 		s.Cohorts[key] = cs
 	}

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"math"
+	"sync"
 	"testing"
 
 	"crowdpricing/internal/analytics"
@@ -233,5 +234,58 @@ func TestFoldDeterministicAndMatchesLive(t *testing.T) {
 	}
 	if len(fold1.IntervalMeans) != intervals {
 		t.Fatalf("interval profile has %d buckets, want %d", len(fold1.IntervalMeans), intervals)
+	}
+}
+
+// TestQuotesConcurrentWithFold exercises the lock-free quote path: quotes
+// run against the copy-on-write cohort index with atomic adds while
+// observes (which do hold the aggregator mutex) and snapshots proceed
+// concurrently. Run under -race; final totals must be exact.
+func TestQuotesConcurrentWithFold(t *testing.T) {
+	a := analytics.New(0)
+	const (
+		workers = 8
+		each    = 500
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				// Half the cohorts are first seen by a quote, so both the
+				// fast path and the create-under-mutex path are hit.
+				a.CampaignQuoted("deadline", w%2 == 0, 3)
+				a.CampaignObserved("deadline", false, 1, 0, 0)
+				_ = a.Snapshot()
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := a.Snapshot()
+	var quotes, priceSum int64
+	for _, c := range s.Cohorts {
+		quotes += c.Quotes
+		priceSum += c.PriceSum
+	}
+	if want := int64(workers * each); quotes != want || priceSum != 3*want {
+		t.Fatalf("quotes=%d priceSum=%d, want %d and %d", quotes, priceSum, want, 3*want)
+	}
+	if s.Observes != int64(workers*each) {
+		t.Fatalf("observes=%d, want %d", s.Observes, workers*each)
+	}
+}
+
+// TestQuoteSinkAllocationFree fences the hot-path contract of
+// CampaignQuoted: once a cohort exists in the copy-on-write index, a
+// quote is two atomic adds — zero heap allocations and no mutex.
+func TestQuoteSinkAllocationFree(t *testing.T) {
+	a := analytics.New(0)
+	a.CampaignQuoted("deadline", false, 5)
+	allocs := testing.AllocsPerRun(200, func() {
+		a.CampaignQuoted("deadline", false, 5)
+	})
+	if allocs != 0 {
+		t.Fatalf("CampaignQuoted allocates %v per op on the fast path, want 0", allocs)
 	}
 }

@@ -89,6 +89,7 @@ func TestMetricsPrometheusConventions(t *testing.T) {
 		"crowdpricing_cohort_completions_total",
 		"crowdpricing_cohort_quotes_total",
 		"crowdpricing_cohort_finished_total",
+		"crowdpricing_cohort_expired_total",
 	} {
 		if _, ok := types[want]; !ok {
 			t.Errorf("expected metric family %q absent from /metrics", want)

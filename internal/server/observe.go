@@ -109,6 +109,8 @@ func (s *Server) writeAnalyticsMetrics(w http.ResponseWriter) {
 			func(c analytics.CohortSnapshot) float64 { return float64(c.Campaigns) }},
 		{"crowdpricing_cohort_finished_total", "Campaigns explicitly finished, by cohort.",
 			func(c analytics.CohortSnapshot) float64 { return float64(c.Finished) }},
+		{"crowdpricing_cohort_expired_total", "Campaigns removed by the idle-TTL sweeper, by cohort.",
+			func(c analytics.CohortSnapshot) float64 { return float64(c.Expired) }},
 		{"crowdpricing_cohort_observes_total", "Intervals observed, by cohort.",
 			func(c analytics.CohortSnapshot) float64 { return float64(c.Observes) }},
 		{"crowdpricing_cohort_arrivals_total", "Worker arrivals observed, by cohort.",

@@ -30,38 +30,22 @@ type TraceSummary struct {
 
 // Snapshot renders the retained traces, slowest first. The traces stay
 // retained; /debug/requests is a read, not a drain.
+//
+// Summaries are built while holding tr.mu: a retained *Trace is only
+// immutable as long as it stays in the keep table, because a concurrent
+// Finish may evict it under tr.mu and recycle it through the pool into a
+// new request that rewrites its fields. Copying the fields under the same
+// lock that eviction takes is what makes the read safe.
 func (tr *Tracer) Snapshot() []TraceSummary {
 	if tr == nil {
 		return nil
 	}
 	tr.mu.Lock()
-	traces := append([]*Trace(nil), tr.slow...)
-	tr.mu.Unlock()
-	out := make([]TraceSummary, 0, len(traces))
-	for _, t := range traces {
-		s := TraceSummary{
-			ID:       t.ID(),
-			Route:    t.route,
-			Start:    t.wall,
-			Status:   t.status,
-			TotalMS:  float64(t.total) / 1e6,
-			StagesMS: make(map[string]float64, NumStages),
-		}
-		seen := t.seen.Load()
-		var attributed int64
-		for st := Stage(0); st < NumStages; st++ {
-			if seen&(1<<uint(st)) == 0 {
-				continue
-			}
-			ns := t.spans[st].Load()
-			attributed += ns
-			s.StagesMS[st.String()] = float64(ns) / 1e6
-		}
-		if un := t.total - attributed; un > 0 {
-			s.UnattributedMS = float64(un) / 1e6
-		}
-		out = append(out, s)
+	out := make([]TraceSummary, 0, len(tr.slow))
+	for _, t := range tr.slow {
+		out = append(out, t.summarize())
 	}
+	tr.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].TotalMS != out[j].TotalMS {
 			return out[i].TotalMS > out[j].TotalMS
@@ -69,6 +53,34 @@ func (tr *Tracer) Snapshot() []TraceSummary {
 		return out[i].ID < out[j].ID
 	})
 	return out
+}
+
+// summarize copies one trace into its immutable rendering. Callers must
+// hold the owning Tracer's mu (see Snapshot); the returned summary shares
+// no memory with the trace and stays valid after the trace is recycled.
+func (t *Trace) summarize() TraceSummary {
+	s := TraceSummary{
+		ID:       t.ID(),
+		Route:    t.route,
+		Start:    t.wall,
+		Status:   t.status,
+		TotalMS:  float64(t.total) / 1e6,
+		StagesMS: make(map[string]float64, NumStages),
+	}
+	seen := t.seen.Load()
+	var attributed int64
+	for st := Stage(0); st < NumStages; st++ {
+		if seen&(1<<uint(st)) == 0 {
+			continue
+		}
+		ns := t.spans[st].Load()
+		attributed += ns
+		s.StagesMS[st.String()] = float64(ns) / 1e6
+	}
+	if un := t.total - attributed; un > 0 {
+		s.UnattributedMS = float64(un) / 1e6
+	}
+	return s
 }
 
 // WriteText renders summaries as the human view of /debug/requests: one

@@ -3,6 +3,7 @@ package telemetry
 import (
 	"context"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -167,5 +168,45 @@ func TestStageNamesOrder(t *testing.T) {
 	}
 	if got := Stage(250).String(); got != "stage(250)" {
 		t.Errorf("out-of-range stage renders %q, want stage(250)", got)
+	}
+}
+
+// TestSnapshotConcurrentWithFinish is a race regression: Snapshot must
+// copy trace fields under the tracer mutex, because once the keep table
+// is full a concurrent Finish evicts a retained trace and recycles it
+// through the pool into a new request that rewrites id/route/status.
+// Run under -race, the old copy-pointers-then-read pattern fails here.
+func TestSnapshotConcurrentWithFinish(t *testing.T) {
+	tr := NewTracer(4, 1)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 3000; i++ {
+				tc := tr.Start("/race")
+				tc.Observe(StageSolve, time.Duration(i%7)*time.Microsecond)
+				// Vary totals so admissions and evictions both happen.
+				tc.begin -= int64(time.Duration((w*3000+i)%13) * time.Microsecond)
+				tr.Finish(tc, 200)
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for alive := true; alive; {
+		select {
+		case <-done:
+			alive = false
+		default:
+		}
+		for _, s := range tr.Snapshot() {
+			if s.Route != "/race" {
+				t.Fatalf("snapshot read a recycled trace: route %q", s.Route)
+			}
+		}
+	}
+	if n := len(tr.Snapshot()); n != 4 {
+		t.Fatalf("retained %d traces, want a full table of 4", n)
 	}
 }
